@@ -1,0 +1,160 @@
+// Command countsim runs a single synchronous-counting simulation and
+// reports the measured stabilisation time against the analytical bound.
+//
+// Examples:
+//
+//	countsim -alg optimal -f 1 -c 10 -faults 2 -adversary splitvote
+//	countsim -alg figure2 -c 10 -faults 4,5,6,7,13,22,31 -adversary saboteur -worstinit
+//	countsim -alg randagree -n 6 -f 1 -faults 0 -trials 20
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"github.com/synchcount/synchcount"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "countsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		algName   = flag.String("alg", "optimal", "algorithm: optimal | scalable | figure2 | randagree | randbiased")
+		f         = flag.Int("f", 1, "resilience (optimal, randagree, randbiased)")
+		n         = flag.Int("n", 4, "nodes (randagree, randbiased)")
+		k         = flag.Int("k", 4, "blocks per level (scalable)")
+		depth     = flag.Int("depth", 2, "recursion depth (scalable)")
+		c         = flag.Int("c", 10, "counter modulus")
+		faultsStr = flag.String("faults", "", "comma-separated Byzantine node indices")
+		advName   = flag.String("adversary", "splitvote", "adversary: "+strings.Join(synchcount.Adversaries(), " | ")+" | saboteur | greedy")
+		seed      = flag.Int64("seed", 1, "random seed")
+		rounds    = flag.Uint64("rounds", 0, "max rounds (default: bound + 512)")
+		window    = flag.Uint64("window", 128, "confirmation window")
+		worstInit = flag.Bool("worstinit", false, "start from the adversarially crafted initial configuration")
+		trials    = flag.Int("trials", 1, "number of independent runs (aggregated)")
+	)
+	flag.Parse()
+
+	a, cnt, err := buildAlgorithm(*algName, *n, *f, *k, *depth, *c)
+	if err != nil {
+		return err
+	}
+
+	cfg := synchcount.SimConfig{
+		Alg:    a,
+		Seed:   *seed,
+		Window: *window,
+	}
+	if *faultsStr != "" {
+		for _, tok := range strings.Split(*faultsStr, ",") {
+			id, err := strconv.Atoi(strings.TrimSpace(tok))
+			if err != nil {
+				return fmt.Errorf("bad fault id %q: %w", tok, err)
+			}
+			cfg.Faulty = append(cfg.Faulty, id)
+		}
+	}
+	switch {
+	case *advName == "saboteur":
+		if cnt == nil {
+			return fmt.Errorf("the saboteur needs a boosted counter (alg optimal|scalable|figure2)")
+		}
+		cfg.Adv = synchcount.Saboteur(cnt)
+	case *advName == "greedy":
+		if cnt == nil {
+			return fmt.Errorf("the greedy attacker needs a boosted counter (alg optimal|scalable|figure2)")
+		}
+		adv, err := synchcount.Greedy(cnt, synchcount.Saboteur(cnt), 8)
+		if err != nil {
+			return err
+		}
+		cfg.Adv = adv
+	default:
+		adv, err := synchcount.AdversaryByName(*advName)
+		if err != nil {
+			return err
+		}
+		cfg.Adv = adv
+	}
+	if *worstInit {
+		if cnt == nil {
+			return fmt.Errorf("-worstinit needs a boosted counter (alg optimal|scalable|figure2)")
+		}
+		init, err := synchcount.WorstInit(cnt)
+		if err != nil {
+			return err
+		}
+		cfg.Init = init
+	}
+
+	var bound uint64
+	if b, err := synchcount.StabilisationBound(a); err == nil {
+		bound = b
+	}
+	cfg.MaxRounds = *rounds
+	if cfg.MaxRounds == 0 {
+		cfg.MaxRounds = bound + 512
+		if bound == 0 {
+			cfg.MaxRounds = 1 << 20 // randomised baselines: generous default
+		}
+	}
+
+	fmt.Printf("algorithm   : %s (n=%d f=%d c=%d, %d state bits, deterministic=%v)\n",
+		*algName, a.N(), a.F(), a.C(), synchcount.StateBits(a), synchcount.IsDeterministic(a))
+	if bound > 0 {
+		fmt.Printf("bound       : T <= %d rounds (Theorem 1 accounting)\n", bound)
+	}
+	fmt.Printf("faults      : %v under %q adversary\n", cfg.Faulty, *advName)
+
+	if *trials <= 1 {
+		res, err := synchcount.Simulate(cfg)
+		if err != nil {
+			return err
+		}
+		if !res.Stabilised {
+			fmt.Printf("result      : DID NOT STABILISE within %d rounds\n", res.RoundsRun)
+			return nil
+		}
+		fmt.Printf("result      : stabilised at round %d (ran %d rounds, window %d)\n",
+			res.StabilisationTime, res.RoundsRun, *window)
+		fmt.Printf("bits/round  : %d across the network\n", res.BitsPerRound)
+		return nil
+	}
+	st, err := synchcount.SimulateMany(cfg, *trials)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("result      : %d/%d stabilised; T min/mean/max = %d / %.1f / %d\n",
+		st.Stabilised, st.Trials, st.MinTime, st.MeanTime, st.MaxTime)
+	return nil
+}
+
+func buildAlgorithm(name string, n, f, k, depth, c int) (synchcount.Algorithm, *synchcount.Counter, error) {
+	switch name {
+	case "optimal":
+		cnt, err := synchcount.OptimalResilience(f, c)
+		return cnt, cnt, err
+	case "scalable":
+		cnt, err := synchcount.Scalable(k, depth, c)
+		return cnt, cnt, err
+	case "figure2":
+		cnt, err := synchcount.Figure2(c)
+		return cnt, cnt, err
+	case "randagree":
+		a, err := synchcount.RandomizedAgree(n, f)
+		return a, nil, err
+	case "randbiased":
+		a, err := synchcount.RandomizedBiased(n, f)
+		return a, nil, err
+	default:
+		return nil, nil, fmt.Errorf("unknown algorithm %q", name)
+	}
+}

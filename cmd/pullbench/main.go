@@ -1,0 +1,145 @@
+// Command pullbench regenerates the Section 5 experiments (E7, E8):
+// per-node message complexity and reliability of the sampled
+// pulling-model counters of Theorem 4 and the pseudo-random variant of
+// Corollary 5, against the deterministic broadcast embedding.
+//
+// It sweeps the sample size M, reporting pulls/round, bits/round,
+// stabilisation rate, and post-stabilisation violations (the empirical
+// failure probability of Corollary 4).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/synchcount/synchcount"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "pullbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		trials = flag.Int("trials", 5, "runs per configuration")
+		seed   = flag.Int64("seed", 1, "base seed")
+		pseudo = flag.Bool("pseudo", false, "use fixed wiring (Corollary 5) instead of fresh samples")
+		horiz  = flag.Uint64("horizon", 0, "rounds per run (default bound + 2000)")
+	)
+	flag.Parse()
+
+	// Test network: the two-level A(12,3) stack with two actual faults
+	// (faulty fraction 1/6, comfortably below the 1/3 threshold so
+	// Lemma 8/9 concentration applies at moderate M).
+	plan := synchcount.Plan{
+		Levels: []synchcount.PlanLevel{{K: 4, F: 1}, {K: 3, F: 3}},
+		C:      8,
+	}
+	top, _, stats, err := synchcount.FromPlan(plan)
+	if err != nil {
+		return err
+	}
+	faulty := []int{2, 9}
+	horizon := *horiz
+	if horizon == 0 {
+		horizon = stats.TimeBound + 2000
+	}
+
+	mode := "fresh samples each round (Theorem 4)"
+	if *pseudo {
+		mode = "fixed wiring (Corollary 5, oblivious adversary)"
+	}
+	fmt.Printf("pulling model on A(%d,%d), faults %v, adversary equivocate, %s\n",
+		top.N(), top.F(), faulty, mode)
+	fmt.Printf("deterministic broadcast embedding reference: %d pulls/round/node\n\n", top.N()-1)
+	fmt.Printf("%-10s %-14s %-12s %-14s %-16s %-14s\n",
+		"M", "pulls/round", "bits/round", "stabilised", "mean T", "violations")
+
+	// The deterministic reference row.
+	bres, err := runTrials(synchcount.PullBroadcast(top), faulty, *trials, *seed, horizon)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-10s %-14d %-12d %-14s %-16.0f %-14d\n",
+		"full", bres.maxPulls, bres.maxBits,
+		fmt.Sprintf("%d/%d", bres.stabilised, *trials), bres.meanT, bres.violations)
+
+	for _, m := range []int{6, 12, 24, 48} {
+		s, err := synchcount.Sampled(top, m, *pseudo, *seed*1000+int64(m))
+		if err != nil {
+			return err
+		}
+		r, err := runTrials(s, faulty, *trials, *seed, horizon)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-10d %-14d %-12d %-14s %-16.0f %-14d\n",
+			m, r.maxPulls, r.maxBits,
+			fmt.Sprintf("%d/%d", r.stabilised, *trials), r.meanT, r.violations)
+	}
+
+	fmt.Println()
+	fmt.Println("arithmetic at scale (pulls/round/node, sampled vs broadcast, k = 4 blocks):")
+	fmt.Printf("%-10s %-12s %-14s %-14s\n", "N", "broadcast", "sampled M=24", "sampled M=48")
+	for depth := 2; depth <= 6; depth++ {
+		p, err := synchcount.PlanFixedK(4, depth, 8)
+		if err != nil {
+			return err
+		}
+		st, err := synchcount.PredictPlan(p)
+		if err != nil {
+			return err
+		}
+		n := st.N / 4 // block size at the top level
+		pulls := func(m int) int { return (n - 1) + 4*m + m + 1 }
+		fmt.Printf("%-10d %-12d %-14d %-14d\n", st.N, st.N-1, pulls(24), pulls(48))
+	}
+	fmt.Println("(top-level sampling wins once N >> (k+1)M; the paper's full O(k·M·levels)")
+	fmt.Println("budget additionally samples inside blocks at every recursion level)")
+	return nil
+}
+
+type trialStats struct {
+	stabilised int
+	meanT      float64
+	maxPulls   uint64
+	maxBits    uint64
+	violations uint64
+}
+
+func runTrials(a synchcount.PullAlgorithm, faulty []int, trials int, seed int64, horizon uint64) (trialStats, error) {
+	var st trialStats
+	var sum float64
+	for i := 0; i < trials; i++ {
+		res, err := synchcount.SimulatePullFull(synchcount.PullConfig{
+			Alg:       a,
+			Faulty:    faulty,
+			Adv:       synchcount.MustAdversary("equivocate"),
+			Seed:      seed + int64(i)*7919,
+			MaxRounds: horizon,
+			Window:    128,
+		})
+		if err != nil {
+			return st, err
+		}
+		if res.Stabilised {
+			st.stabilised++
+			sum += float64(res.StabilisationTime)
+		}
+		st.violations += res.Violations
+		if res.MaxPulls > st.maxPulls {
+			st.maxPulls = res.MaxPulls
+		}
+		if res.MaxBits > st.maxBits {
+			st.maxBits = res.MaxBits
+		}
+	}
+	if st.stabilised > 0 {
+		st.meanT = sum / float64(st.stabilised)
+	}
+	return st, nil
+}

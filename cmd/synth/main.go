@@ -1,0 +1,62 @@
+// Command synth re-runs the "computational algorithm design" method of
+// [4, 5] (E10): it exhaustively enumerates restricted algorithm classes
+// for the synchronous 2-counting problem at small n and f, model-checks
+// every candidate against all fault sets, initial configurations and
+// Byzantine strategies, and prints the verified algorithms with their
+// exact worst-case stabilisation times — or the exact statement that the
+// class contains none.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/synchcount/synchcount"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "synth:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		n     = flag.Int("n", 6, "network size")
+		f     = flag.Int("f", 1, "resilience")
+		limit = flag.Int("limit", 10, "stop after this many solutions (0 = all)")
+		quiet = flag.Bool("q", false, "suppress progress output")
+	)
+	flag.Parse()
+
+	opts := synchcount.SynthOptions{Limit: *limit}
+	if !*quiet {
+		opts.Progress = func(done, total uint64) {
+			fmt.Fprintf(os.Stderr, "\rsearch: %d/%d (%.1f%%)", done, total, 100*float64(done)/float64(total))
+		}
+	}
+	fmt.Printf("exhaustive search: anonymous single-bit 2-counters, n=%d f=%d (space 2^%d)\n", *n, *f, 2**n)
+	found, err := synchcount.Synthesise(*n, *f, opts)
+	if !*quiet {
+		fmt.Fprintln(os.Stderr)
+	}
+	if err != nil {
+		return err
+	}
+	if len(found) == 0 {
+		fmt.Printf("RESULT: no correct algorithm exists in this class (exact, exhaustively model-checked)\n")
+		if *f > 0 {
+			fmt.Printf("note: this reproduces the *method* of Table 1's computer-designed rows and shows\n" +
+				"the published 2-state algorithms of [5] must use positional information.\n")
+		}
+		return nil
+	}
+	fmt.Printf("RESULT: %d verified algorithms; best worst-case stabilisation time %d rounds\n",
+		len(found), found[0].WorstTime)
+	for i, fd := range found {
+		fmt.Printf("  #%d T=%d  %s\n", i+1, fd.WorstTime, fd.Alg)
+	}
+	return nil
+}

@@ -1,0 +1,231 @@
+// Command table1 regenerates the paper's Table 1: the landscape of
+// synchronous 2-counting algorithms, with the paper's analytical values
+// side by side with values measured in this repository's simulator.
+//
+// Rows whose algorithms are implemented here are measured (stabilisation
+// time over seeds and adversaries, exact state bits); rows we do not
+// implement ([2]'s consensus stack, and the SAT-designed tables of [5]
+// whose artefacts were never published) are printed from the paper's
+// analytical claims and marked accordingly. The synthesiser contributes
+// the exact model-checked result that the anonymous single-bit class
+// contains no 1-resilient counters — the reason the "computer designed"
+// rows need richer algorithm classes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/synchcount/synchcount"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "table1:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		trials  = flag.Int("trials", 10, "simulation trials per measured row")
+		seed    = flag.Int64("seed", 1, "base seed")
+		scaling = flag.Bool("scaling", false, "also print the Theorem 2 resilience-scaling series (E6)")
+	)
+	flag.Parse()
+
+	fmt.Println("Table 1 — synchronous 2-counting algorithms: paper vs measured")
+	fmt.Println()
+	fmt.Printf("%-34s %-12s %-22s %-12s %-6s\n", "algorithm", "resilience", "stabilisation time", "state bits", "det.")
+	fmt.Printf("%-34s %-12s %-22s %-12s %-6s\n", "---------", "----------", "------------------", "----------", "----")
+
+	// Row: randomised [6,7] — measured.
+	if err := measuredRandom(*trials, *seed, "randomised [6,7] (n=4,f=1)", 4, 1, false); err != nil {
+		return err
+	}
+	if err := measuredRandom(*trials, *seed, "randomised [6,7] (n=7,f=2)", 7, 2, false); err != nil {
+		return err
+	}
+	if err := measuredRandom(*trials, *seed, "randomised [6,7] (n=10,f=3)", 10, 3, false); err != nil {
+		return err
+	}
+	if err := measuredRandom(*trials, *seed, "randomised [6,7] (n=13,f=4)", 13, 4, false); err != nil {
+		return err
+	}
+	// Row: randomised [5]-style biased — measured.
+	if err := measuredRandom(*trials, *seed, "randomised ~[5] biased (n=7,f=2)", 7, 2, true); err != nil {
+		return err
+	}
+
+	// Rows: computer-designed [5] — paper values; plus our exact negative
+	// synthesis result for the anonymous class.
+	fmt.Printf("%-34s %-12s %-22s %-12s %-6s  (paper value; artefact unpublished)\n",
+		"computer designed [5] (n>=4,f=1)", "f=1", "7", "2", "yes")
+	fmt.Printf("%-34s %-12s %-22s %-12s %-6s  (paper value; artefact unpublished)\n",
+		"computer designed [5] (n>=6,f=1)", "f=1", "6", "1", "yes")
+	fmt.Printf("%-34s %-12s %-22s %-12s %-6s  (paper value; artefact unpublished)\n",
+		"computer designed [5] (n>=6,f=1)", "f=1", "3", "2", "yes")
+	found, err := synchcount.Synthesise(6, 1, synchcount.SynthOptions{Limit: 1})
+	if err != nil {
+		return err
+	}
+	if len(found) == 0 {
+		fmt.Printf("%-34s %-12s %-22s %-12s %-6s  (exact: exhaustively model-checked here)\n",
+			"  anonymous 1-bit class (n=6,f=1)", "f=1", "no algorithm exists", "1", "-")
+	} else {
+		fmt.Printf("%-34s %-12s %-22s %-12s %-6s  (synthesised here!)\n",
+			"  anonymous 1-bit (n=6,f=1)", "f=1", fmt.Sprint(found[0].WorstTime), "1", "yes")
+	}
+
+	// Row: Dolev-Hoch [2] — paper values only (no published artefact; a
+	// faithful reconstruction of the pipelined consensus stack is out of
+	// scope — see DESIGN.md).
+	fmt.Printf("%-34s %-12s %-22s %-12s %-6s  (paper value; not reimplemented)\n",
+		"consensus stack [2]", "f<n/3", "O(f)", "O(f log f)", "yes")
+
+	// Row: Corollary 1 (optimal resilience, this paper) — measured.
+	if err := measuredOptimal(*trials, *seed); err != nil {
+		return err
+	}
+
+	// Rows: this work (Theorem 2 stacks) — measured at two scales.
+	if err := measuredBoosted(*trials, *seed, "this work A(4,1)", 1); err != nil {
+		return err
+	}
+	if err := measuredBoosted(*trials, *seed, "this work A(12,3)", 2); err != nil {
+		return err
+	}
+	if err := measuredBoosted(*trials, *seed, "this work A(36,7) fig.2", 3); err != nil {
+		return err
+	}
+
+	if *scaling {
+		fmt.Println()
+		if err := printScaling(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func measuredRandom(trials int, seed int64, label string, n, f int, biased bool) error {
+	var a synchcount.Algorithm
+	var err error
+	if biased {
+		a, err = synchcount.RandomizedBiased(n, f)
+	} else {
+		a, err = synchcount.RandomizedAgree(n, f)
+	}
+	if err != nil {
+		return err
+	}
+	faults := make([]int, f)
+	for i := range faults {
+		faults[i] = (i*3 + 1) % n
+	}
+	st, err := synchcount.SimulateMany(synchcount.SimConfig{
+		Alg:       a,
+		Faulty:    faults,
+		Adv:       synchcount.MustAdversary("splitvote"),
+		Seed:      seed,
+		MaxRounds: 1 << 21,
+	}, trials)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-34s %-12s %-22s %-12d %-6s  (measured, %d/%d trials)\n",
+		label, fmt.Sprintf("f=%d", f),
+		fmt.Sprintf("mean %.0f max %d", st.MeanTime, st.MaxTime),
+		synchcount.StateBits(a), "no", st.Stabilised, st.Trials)
+	return nil
+}
+
+func measuredOptimal(trials int, seed int64) error {
+	cnt, err := synchcount.OptimalResilience(1, 2)
+	if err != nil {
+		return err
+	}
+	bound, _ := synchcount.StabilisationBound(cnt)
+	init, err := synchcount.WorstInit(cnt)
+	if err != nil {
+		return err
+	}
+	st, err := synchcount.SimulateMany(synchcount.SimConfig{
+		Alg:       cnt,
+		Faulty:    []int{0},
+		Adv:       synchcount.Saboteur(cnt),
+		Init:      init,
+		Seed:      seed,
+		MaxRounds: bound + 512,
+		Window:    128,
+	}, trials)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-34s %-12s %-22s %-12d %-6s  (measured vs bound %d; saboteur+worst init)\n",
+		"Corollary 1 (n=4,f=1)", "f<n/3",
+		fmt.Sprintf("mean %.0f max %d", st.MeanTime, st.MaxTime),
+		synchcount.StateBits(cnt), "yes", bound)
+	return nil
+}
+
+func measuredBoosted(trials int, seed int64, label string, levels int) error {
+	stack := []synchcount.PlanLevel{{K: 4, F: 1}, {K: 3, F: 3}, {K: 3, F: 7}}
+	plan := synchcount.Plan{Levels: stack[:levels], C: 2}
+	cnt, _, stats, err := synchcount.FromPlan(plan)
+	if err != nil {
+		return err
+	}
+	// Concentrate the fault budget on the first nodes: this breaks the
+	// top level's leader-candidate block 0 (and occupies the low king
+	// slots), which is what forces the construction to wait for a
+	// Lemma 2 alignment window — the worst case the bound accounts for.
+	faults := make([]int, cnt.F())
+	for i := range faults {
+		faults[i] = i
+	}
+	init, err := synchcount.WorstInit(cnt)
+	if err != nil {
+		return err
+	}
+	st, err := synchcount.SimulateMany(synchcount.SimConfig{
+		Alg:       cnt,
+		Faulty:    faults,
+		Adv:       synchcount.Saboteur(cnt),
+		Init:      init,
+		Seed:      seed,
+		MaxRounds: stats.TimeBound + 1024,
+		Window:    128,
+	}, trials)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-34s %-12s %-22s %-12d %-6s  (measured vs bound %d; N=%d)\n",
+		label, fmt.Sprintf("f=%d", cnt.F()),
+		fmt.Sprintf("mean %.0f max %d", st.MeanTime, st.MaxTime),
+		synchcount.StateBits(cnt), "yes", stats.TimeBound, cnt.N())
+	return nil
+}
+
+// printScaling prints the E6 series: resilience, time bound and state
+// bits across recursion depths of the fixed-k construction, showing
+// T = O(f) and S = O(log^2 f) growth.
+func printScaling() error {
+	fmt.Println("Theorem 2 scaling (k = 4): resilience vs predicted time and space")
+	fmt.Printf("%-8s %-8s %-8s %-14s %-12s %-10s\n", "depth", "N", "F", "time bound", "bound/F", "state bits")
+	for depth := 1; depth <= 6; depth++ {
+		p, err := synchcount.PlanFixedK(4, depth, 2)
+		if err != nil {
+			return err
+		}
+		st, err := synchcount.PredictPlan(p)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-8d %-8d %-8d %-14d %-12.0f %-10d\n",
+			depth, st.N, st.F, st.TimeBound, float64(st.TimeBound)/float64(st.F), st.StateBits)
+	}
+	fmt.Println("(bound/F flattening = linear-in-f stabilisation; bits growing ~log^2 f)")
+	return nil
+}

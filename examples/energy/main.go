@@ -1,0 +1,77 @@
+// Energy: the Section 5 pulling-model scenario. In a circuit, each node
+// pays the energy for the messages *it* pulls; limiting the per-round
+// pull budget of every node also caps what Byzantine nodes can spend.
+//
+// This example runs the 12-node counter three ways — the deterministic
+// broadcast embedding, the sampled counter of Theorem 4, and the
+// pseudo-random fixed-wiring counter of Corollary 5 — and compares
+// per-node energy (pulls and bits per round) against reliability.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/synchcount/synchcount"
+)
+
+func main() {
+	plan := synchcount.Plan{
+		Levels: []synchcount.PlanLevel{{K: 4, F: 1}, {K: 3, F: 3}},
+		C:      8,
+	}
+	cnt, _, stats, err := synchcount.FromPlan(plan)
+	if err != nil {
+		log.Fatal(err)
+	}
+	faulty := []int{4, 10}
+	horizon := stats.TimeBound + 1500
+
+	fmt.Printf("network: A(%d,%d), faults %v, horizon %d rounds\n\n", cnt.N(), cnt.F(), faulty, horizon)
+	fmt.Printf("%-26s %-12s %-12s %-12s %-12s\n", "variant", "pulls/round", "bits/round", "stabilised", "violations")
+	fmt.Printf("%-26s %-12s %-12s %-12s %-12s\n", "-------", "-----------", "----------", "----------", "----------")
+
+	report := func(name string, a synchcount.PullAlgorithm) {
+		res, err := synchcount.SimulatePullFull(synchcount.PullConfig{
+			Alg:       a,
+			Faulty:    faulty,
+			Adv:       synchcount.MustAdversary("equivocate"),
+			Seed:      21,
+			MaxRounds: horizon,
+			Window:    96,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		stab := "no"
+		if res.Stabilised {
+			stab = fmt.Sprintf("round %d", res.StabilisationTime)
+		}
+		fmt.Printf("%-26s %-12d %-12d %-12s %-12d\n", name, res.MaxPulls, res.MaxBits, stab, res.Violations)
+	}
+
+	// Deterministic reference: pull everything (Theorem 1 as-is).
+	report("broadcast (det.)", synchcount.PullBroadcast(cnt))
+
+	// Theorem 4: fresh samples each round. Small M trades energy for a
+	// residual per-round failure probability (violations > 0 possible).
+	for _, m := range []int{6, 24} {
+		s, err := synchcount.Sampled(cnt, m, false, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		report(fmt.Sprintf("sampled M=%d (Thm 4)", m), s)
+	}
+
+	// Corollary 5: wiring fixed once; against an oblivious adversary a
+	// good wiring stabilises and then counts deterministically forever.
+	s, err := synchcount.Sampled(cnt, 24, true, 99)
+	if err != nil {
+		log.Fatal(err)
+	}
+	report("pseudo-random M=24 (Cor 5)", s)
+
+	fmt.Println("\nreading: the sampled counters cap every node's energy budget; larger M buys")
+	fmt.Println("reliability, and fixing the wiring (Cor 5) removes the residual failure rate")
+	fmt.Println("entirely once stabilised — at the cost of assuming an oblivious adversary.")
+}

@@ -1,0 +1,68 @@
+// Faultlab: a tour of the Byzantine adversary suite. It runs the same
+// 4-node, 1-resilient counter against every built-in attack strategy —
+// plus the construction-aware saboteur from a crafted initial
+// configuration — and reports the measured stabilisation times against
+// the Theorem 1 bound, demonstrating that self-stabilisation holds
+// uniformly while the *time* varies enormously with the attack.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"github.com/synchcount/synchcount"
+)
+
+func main() {
+	cnt, err := synchcount.OptimalResilience(1, 960)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bound, _ := synchcount.StabilisationBound(cnt)
+	fmt.Printf("counter A(4,1) mod %d — Theorem 1 bound: T <= %d rounds\n\n", cnt.C(), bound)
+	fmt.Printf("%-12s %-12s %-14s %-10s\n", "adversary", "init", "measured T", "bound use")
+	fmt.Printf("%-12s %-12s %-14s %-10s\n", "---------", "----", "----------", "---------")
+
+	type row struct {
+		name string
+		init string
+		t    uint64
+	}
+	var rows []row
+
+	run := func(name, initKind string, adv synchcount.Adversary, init []synchcount.State) {
+		st, err := synchcount.SimulateMany(synchcount.SimConfig{
+			Alg:       cnt,
+			Faulty:    []int{0}, // node 0 is king 0: the strongest fault position
+			Adv:       adv,
+			Init:      init,
+			Seed:      11,
+			MaxRounds: bound + 512,
+			Window:    128,
+		}, 5)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if st.Stabilised < 5 {
+			log.Fatalf("%s: only %d/5 runs stabilised — Theorem 1 violated", name, st.Stabilised)
+		}
+		rows = append(rows, row{name: name, init: initKind, t: st.MaxTime})
+	}
+
+	for _, name := range synchcount.Adversaries() {
+		run(name, "random", synchcount.MustAdversary(name), nil)
+	}
+	worst, err := synchcount.WorstInit(cnt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	run("saboteur", "crafted", synchcount.Saboteur(cnt), worst)
+
+	sort.Slice(rows, func(i, j int) bool { return rows[i].t < rows[j].t })
+	for _, r := range rows {
+		fmt.Printf("%-12s %-12s %-14d %6.1f%%\n", r.name, r.init, r.t, 100*float64(r.t)/float64(bound))
+	}
+	fmt.Println("\nevery attack stabilises within the bound; only the construction-aware")
+	fmt.Println("attack from a crafted start exercises the leader-window alignment term.")
+}

@@ -1,0 +1,237 @@
+// Package adversary implements Byzantine behaviours for the synchronous
+// full-information model of the paper.
+//
+// A Byzantine node "may exhibit arbitrary behaviour, including to send
+// different messages to every node". The Adversary interface is therefore
+// per-(sender, receiver): each round, for every faulty sender and every
+// receiver, the adversary chooses the state the receiver observes. The
+// adversary is omniscient (it sees all correct states at the start of the
+// round) and adaptive, but it cannot predict the coin flips that correct
+// nodes make *within* the current round — the standard adaptive-adversary
+// model for randomised self-stabilisation.
+package adversary
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"github.com/synchcount/synchcount/internal/alg"
+)
+
+// View is the omniscient snapshot handed to the adversary each round.
+type View struct {
+	// Round is the current round number (0-based).
+	Round uint64
+	// States holds the start-of-round states of all nodes. Entries for
+	// faulty nodes are unspecified and must not be relied upon.
+	States []alg.State
+	// Faulty[i] reports whether node i is Byzantine.
+	Faulty []bool
+	// Space is the algorithm's state-space size |X|; any value in
+	// [0, Space) is a legal message.
+	Space uint64
+	// Rng is the adversary's private randomness.
+	Rng *rand.Rand
+
+	baseSeed int64
+}
+
+// CorrectStates returns the states of all correct nodes in node order.
+// The slice is freshly allocated.
+func (v *View) CorrectStates() []alg.State {
+	out := make([]alg.State, 0, len(v.States))
+	for i, s := range v.States {
+		if !v.Faulty[i] {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Adversary chooses, for every faulty sender, the state each receiver
+// observes. Implementations must be deterministic given (View.Rng, View);
+// all randomness must come from View.Rng so runs are reproducible.
+type Adversary interface {
+	// Name identifies the strategy (used by CLIs and experiment tables).
+	Name() string
+	// Message returns the state faulty node from presents to receiver to.
+	Message(v *View, from, to int) alg.State
+}
+
+// Silent models crash-like behaviour: the faulty node appears frozen in
+// state 0 forever. This is the weakest attack and a useful baseline.
+type Silent struct{}
+
+// Name implements Adversary.
+func (Silent) Name() string { return "silent" }
+
+// Message implements Adversary.
+func (Silent) Message(*View, int, int) alg.State { return 0 }
+
+// Random broadcasts a fresh uniform state each round, the same to all
+// receivers (a non-equivocating but noisy fault).
+type Random struct{}
+
+// Name implements Adversary.
+func (Random) Name() string { return "random" }
+
+// Message implements Adversary.
+func (Random) Message(v *View, from, _ int) alg.State {
+	// Derive the value from (round, sender) so all receivers of this
+	// sender observe the same state this round.
+	return uniform(v.perSenderRng(from), v.Space)
+}
+
+// Equivocate sends an independent uniform state to every receiver every
+// round — maximal noise equivocation.
+type Equivocate struct{}
+
+// Name implements Adversary.
+func (Equivocate) Name() string { return "equivocate" }
+
+// Message implements Adversary.
+func (Equivocate) Message(v *View, _, _ int) alg.State {
+	return uniform(v.Rng, v.Space)
+}
+
+// Mirror impersonates a correct node: every faulty node copies the state
+// of the lowest-indexed correct node, making the fault invisible to
+// simple agreement checks while distorting vote counts.
+type Mirror struct{}
+
+// Name implements Adversary.
+func (Mirror) Name() string { return "mirror" }
+
+// Message implements Adversary.
+func (Mirror) Message(v *View, _, _ int) alg.State {
+	for i, f := range v.Faulty {
+		if !f {
+			return v.States[i]
+		}
+	}
+	return 0
+}
+
+// SplitVote tries to keep correct nodes disagreeing: it finds two distinct
+// states held by correct nodes and shows the first to even-numbered
+// receivers and the second to odd-numbered receivers. When all correct
+// nodes already agree it echoes a stale (decremented) state to both sides
+// to stall re-convergence.
+type SplitVote struct{}
+
+// Name implements Adversary.
+func (SplitVote) Name() string { return "splitvote" }
+
+// Message implements Adversary.
+func (SplitVote) Message(v *View, _, to int) alg.State {
+	var a, b alg.State
+	seenA := false
+	seenB := false
+	for i, f := range v.Faulty {
+		if f {
+			continue
+		}
+		s := v.States[i]
+		switch {
+		case !seenA:
+			a, seenA = s, true
+		case s != a && !seenB:
+			b, seenB = s, true
+		}
+	}
+	if !seenA {
+		return 0
+	}
+	if !seenB {
+		// Unanimity among correct nodes: inject a perturbed state.
+		b = (a + v.Space - 1) % v.Space
+	}
+	if to%2 == 0 {
+		return a
+	}
+	return b
+}
+
+// Spread shows each receiver a different correct node's state, maximising
+// disagreement about what the faulty node "is": receiver t sees the state
+// of the t-th correct node (mod the number of correct nodes).
+type Spread struct{}
+
+// Name implements Adversary.
+func (Spread) Name() string { return "spread" }
+
+// Message implements Adversary.
+func (Spread) Message(v *View, _, to int) alg.State {
+	correct := v.CorrectStates()
+	if len(correct) == 0 {
+		return 0
+	}
+	return correct[to%len(correct)]
+}
+
+// Flip delays convergence of binary counters: it reports the complement
+// of the majority state of the correct nodes, pushing tallies away from
+// unanimity thresholds. For larger state spaces it perturbs the majority
+// state by +1.
+type Flip struct{}
+
+// Name implements Adversary.
+func (Flip) Name() string { return "flip" }
+
+// Message implements Adversary.
+func (Flip) Message(v *View, _, _ int) alg.State {
+	maj := alg.Majority(v.CorrectStates())
+	return (maj + 1) % v.Space
+}
+
+// perSenderRng derives a reproducible per-(round, sender) RNG from the
+// adversary's stream so that "broadcast" strategies send one consistent
+// value per round without shared mutable state.
+func (v *View) perSenderRng(from int) *rand.Rand {
+	seed := int64(v.Round)*1000003 + int64(from)*7919 + v.baseSeed
+	return rand.New(rand.NewSource(seed))
+}
+
+// SetBaseSeed fixes the seed component used by per-sender derived RNGs.
+// The simulator calls it once per run.
+func (v *View) SetBaseSeed(seed int64) { v.baseSeed = seed }
+
+// Registry returns all built-in adversary strategies keyed by name.
+func Registry() map[string]Adversary {
+	all := []Adversary{
+		Silent{}, Random{}, Equivocate{}, Mirror{}, SplitVote{}, Spread{}, Flip{},
+	}
+	m := make(map[string]Adversary, len(all))
+	for _, a := range all {
+		m[a.Name()] = a
+	}
+	return m
+}
+
+// Names returns the sorted names of all built-in strategies.
+func Names() []string {
+	reg := Registry()
+	names := make([]string, 0, len(reg))
+	for n := range reg {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ByName looks up a built-in strategy.
+func ByName(name string) (Adversary, error) {
+	a, ok := Registry()[name]
+	if !ok {
+		return nil, fmt.Errorf("adversary: unknown strategy %q (have %v)", name, Names())
+	}
+	return a, nil
+}
+
+func uniform(rng *rand.Rand, space uint64) alg.State {
+	if space <= 1 {
+		return 0
+	}
+	return alg.State(rng.Int63n(int64(space)))
+}

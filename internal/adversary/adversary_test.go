@@ -1,0 +1,143 @@
+package adversary
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/synchcount/synchcount/internal/alg"
+)
+
+func newView(states []alg.State, faulty []bool, space uint64, seed int64) *View {
+	v := &View{
+		States: states,
+		Faulty: faulty,
+		Space:  space,
+		Rng:    rand.New(rand.NewSource(seed)),
+	}
+	v.SetBaseSeed(seed)
+	return v
+}
+
+func TestRegistryComplete(t *testing.T) {
+	reg := Registry()
+	for _, name := range []string{"silent", "random", "equivocate", "mirror", "splitvote", "spread", "flip"} {
+		if _, ok := reg[name]; !ok {
+			t.Errorf("registry missing %q", name)
+		}
+	}
+	if len(Names()) != len(reg) {
+		t.Error("Names and Registry disagree")
+	}
+}
+
+func TestByName(t *testing.T) {
+	a, err := ByName("mirror")
+	if err != nil || a.Name() != "mirror" {
+		t.Fatalf("ByName(mirror) = %v, %v", a, err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("ByName(nope) should fail")
+	}
+}
+
+func TestAllStrategiesStayInSpace(t *testing.T) {
+	const space = 37
+	states := []alg.State{3, 14, 15, 9, 26}
+	faulty := []bool{false, false, true, false, true}
+	for name, adv := range Registry() {
+		v := newView(states, faulty, space, 99)
+		for round := uint64(0); round < 50; round++ {
+			v.Round = round
+			for _, from := range []int{2, 4} {
+				for to := 0; to < 5; to++ {
+					msg := adv.Message(v, from, to)
+					if msg >= space {
+						t.Errorf("%s: message %d outside space %d", name, msg, space)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestSilent(t *testing.T) {
+	v := newView([]alg.State{5, 6, 7}, []bool{false, false, true}, 10, 1)
+	if got := (Silent{}).Message(v, 2, 0); got != 0 {
+		t.Errorf("Silent = %d, want 0", got)
+	}
+}
+
+func TestRandomIsConsistentPerRound(t *testing.T) {
+	// A non-equivocating fault must show the same state to all receivers
+	// within a round.
+	v := newView([]alg.State{1, 2, 3, 4}, []bool{false, true, false, false}, 1000, 5)
+	v.Round = 17
+	first := (Random{}).Message(v, 1, 0)
+	for to := 1; to < 4; to++ {
+		if got := (Random{}).Message(v, 1, to); got != first {
+			t.Fatalf("Random equivocated: receiver %d saw %d, receiver 0 saw %d", to, got, first)
+		}
+	}
+	v.Round = 18
+	if second := (Random{}).Message(v, 1, 0); second == first {
+		// Not strictly impossible, but with space 1000 a collision across
+		// rounds signals a broken derivation more often than luck.
+		t.Logf("warning: consecutive rounds produced identical random state %d", first)
+	}
+}
+
+func TestMirrorCopiesLowestCorrect(t *testing.T) {
+	v := newView([]alg.State{11, 22, 33}, []bool{true, false, true}, 100, 2)
+	if got := (Mirror{}).Message(v, 0, 2); got != 22 {
+		t.Errorf("Mirror = %d, want 22", got)
+	}
+}
+
+func TestSplitVoteSplitsDistinctStates(t *testing.T) {
+	v := newView([]alg.State{7, 9, 0, 7}, []bool{false, false, true, false}, 100, 3)
+	even := (SplitVote{}).Message(v, 2, 0)
+	odd := (SplitVote{}).Message(v, 2, 1)
+	if even != 7 || odd != 9 {
+		t.Errorf("SplitVote = (%d,%d), want (7,9)", even, odd)
+	}
+}
+
+func TestSplitVotePerturbsUnanimity(t *testing.T) {
+	v := newView([]alg.State{4, 4, 0, 4}, []bool{false, false, true, false}, 100, 4)
+	even := (SplitVote{}).Message(v, 2, 0)
+	odd := (SplitVote{}).Message(v, 2, 1)
+	if even != 4 {
+		t.Errorf("even receiver should see the unanimous state, got %d", even)
+	}
+	if odd != 3 {
+		t.Errorf("odd receiver should see a perturbed state 3, got %d", odd)
+	}
+}
+
+func TestSpreadShowsDifferentCorrectStates(t *testing.T) {
+	v := newView([]alg.State{10, 20, 0, 30}, []bool{false, false, true, false}, 100, 5)
+	if got := (Spread{}).Message(v, 2, 0); got != 10 {
+		t.Errorf("Spread to receiver 0 = %d, want 10", got)
+	}
+	if got := (Spread{}).Message(v, 2, 1); got != 20 {
+		t.Errorf("Spread to receiver 1 = %d, want 20", got)
+	}
+	if got := (Spread{}).Message(v, 2, 3); got != 10 {
+		t.Errorf("Spread to receiver 3 = %d, want 10 (wraps mod 3 correct)", got)
+	}
+}
+
+func TestFlipComplementsMajority(t *testing.T) {
+	v := newView([]alg.State{1, 1, 1, 0}, []bool{false, false, false, true}, 2, 6)
+	if got := (Flip{}).Message(v, 3, 0); got != 0 {
+		t.Errorf("Flip = %d, want 0 (complement of majority 1)", got)
+	}
+}
+
+func TestCorrectStates(t *testing.T) {
+	v := newView([]alg.State{1, 2, 3, 4}, []bool{true, false, true, false}, 10, 7)
+	got := v.CorrectStates()
+	if len(got) != 2 || got[0] != 2 || got[1] != 4 {
+		t.Errorf("CorrectStates = %v, want [2 4]", got)
+	}
+}

@@ -1,0 +1,123 @@
+package adversary
+
+import (
+	"errors"
+
+	"github.com/synchcount/synchcount/internal/alg"
+)
+
+// Greedy is a one-step-lookahead optimising adversary for deterministic
+// algorithms: every round it samples candidate joint message
+// assignments (one per faulty sender and receiver pair), simulates the
+// next step of every correct node under each candidate, and commits to
+// the assignment that maximises a disagreement potential — the number
+// of distinct outputs (weighted) plus the number of distinct states
+// among correct nodes.
+//
+// It upper-bounds what a myopic omniscient attacker can do and is used
+// in the bound-tightness ablations (E5). It is NOT safe for concurrent
+// use: it caches one round's assignment at a time, matching the
+// single-threaded simulators in this repository.
+type Greedy struct {
+	alg     alg.Algorithm
+	inner   Adversary
+	samples int
+
+	cachedRound uint64
+	haveCache   bool
+	cache       map[[2]int]alg.State
+}
+
+var _ Adversary = (*Greedy)(nil)
+
+// NewGreedy wraps an inner strategy (the candidate generator, e.g.
+// Equivocate or a construction-aware attack) with greedy lookahead over
+// `samples` candidate assignments per round. The algorithm must be
+// deterministic: lookahead simulates Step with a nil rng.
+func NewGreedy(a alg.Algorithm, inner Adversary, samples int) (*Greedy, error) {
+	if a == nil {
+		return nil, errors.New("adversary: nil algorithm")
+	}
+	if !alg.IsDeterministic(a) {
+		return nil, errors.New("adversary: greedy lookahead requires a deterministic algorithm")
+	}
+	if inner == nil {
+		inner = Equivocate{}
+	}
+	if samples < 1 {
+		samples = 4
+	}
+	return &Greedy{alg: a, inner: inner, samples: samples}, nil
+}
+
+// Name implements Adversary.
+func (g *Greedy) Name() string { return "greedy+" + g.inner.Name() }
+
+// Message implements Adversary.
+func (g *Greedy) Message(v *View, from, to int) alg.State {
+	if !g.haveCache || g.cachedRound != v.Round {
+		g.recompute(v)
+	}
+	return g.cache[[2]int{from, to}]
+}
+
+func (g *Greedy) recompute(v *View) {
+	n := len(v.States)
+	var faulty, correct []int
+	for i, f := range v.Faulty {
+		if f {
+			faulty = append(faulty, i)
+		} else {
+			correct = append(correct, i)
+		}
+	}
+
+	// Candidate 0: the inner strategy verbatim. Later candidates mutate
+	// a random subset of pairs to uniform random states.
+	best := make(map[[2]int]alg.State, len(faulty)*n)
+	bestScore := -1
+	cand := make(map[[2]int]alg.State, len(faulty)*n)
+	for c := 0; c < g.samples; c++ {
+		for _, from := range faulty {
+			for to := 0; to < n; to++ {
+				msg := g.inner.Message(v, from, to)
+				if c > 0 && v.Rng.Intn(2) == 0 {
+					msg = uniform(v.Rng, v.Space)
+				}
+				cand[[2]int{from, to}] = msg % v.Space
+			}
+		}
+		score := g.score(v, correct, cand)
+		if score > bestScore {
+			bestScore = score
+			for k, s := range cand {
+				best[k] = s
+			}
+		}
+	}
+	g.cache = best
+	g.cachedRound = v.Round
+	g.haveCache = true
+}
+
+// score simulates one round for all correct nodes under the candidate
+// assignment and measures the resulting disagreement.
+func (g *Greedy) score(v *View, correct []int, cand map[[2]int]alg.State) int {
+	n := len(v.States)
+	recv := make([]alg.State, n)
+	outputs := make(map[int]struct{}, len(correct))
+	states := make(map[alg.State]struct{}, len(correct))
+	for _, node := range correct {
+		for u := 0; u < n; u++ {
+			if v.Faulty[u] {
+				recv[u] = cand[[2]int{u, node}]
+			} else {
+				recv[u] = v.States[u]
+			}
+		}
+		next := g.alg.Step(node, recv, nil)
+		outputs[g.alg.Output(node, next)] = struct{}{}
+		states[next] = struct{}{}
+	}
+	return len(outputs)*n + len(states)
+}

@@ -1,0 +1,45 @@
+package boost
+
+import (
+	"testing"
+
+	"github.com/synchcount/synchcount/internal/alg"
+	"github.com/synchcount/synchcount/internal/counter"
+)
+
+// FuzzStepTotal fuzzes the boosted transition function with arbitrary
+// received words: whatever a Byzantine sender injects, Step must not
+// panic and must return a state inside the state space. This is the
+// load-bearing robustness property of the whole construction — the
+// adversary literally controls these words.
+func FuzzStepTotal(f *testing.F) {
+	base, err := counter.NewTrivial(2304)
+	if err != nil {
+		f.Fatal(err)
+	}
+	b, err := New(base, Params{K: 4, F: 1, C: 10})
+	if err != nil {
+		f.Fatal(err)
+	}
+	space := b.StateSpace()
+	f.Add(uint64(0), uint64(1), uint64(2), uint64(3), 0)
+	f.Add(^uint64(0), uint64(0), space-1, space/2, 3)
+	f.Fuzz(func(t *testing.T, s0, s1, s2, s3 uint64, node int) {
+		recv := []alg.State{s0 % space, s1 % space, s2 % space, s3 % space}
+		v := ((node % 4) + 4) % 4
+		next := b.Step(v, recv, nil)
+		if next >= space {
+			t.Fatalf("Step(%v) = %d outside space %d", recv, next, space)
+		}
+		if out := b.Output(v, next); out < 0 || out >= b.C() {
+			t.Fatalf("Output = %d outside [0,%d)", out, b.C())
+		}
+		// Decoders must be total too.
+		for u, s := range recv {
+			r, y, ptr := b.Leader(u, s)
+			if r >= b.Tau() || ptr >= uint64(b.M()) {
+				t.Fatalf("Leader(%d,%d) = (%d,%d,%d) out of range", u, s, r, y, ptr)
+			}
+		}
+	})
+}

@@ -1,0 +1,182 @@
+// Package codec packs structured node states into dense mixed-radix
+// integers.
+//
+// Every algorithm in this repository represents its per-node state as a
+// single value in [0, |X|) so that (a) the space complexity S(A) =
+// ceil(log2 |X|) of the paper is directly measurable, and (b) a Byzantine
+// adversary can inject *any* element of the state space X, not merely
+// states that the honest transition function can produce. A Codec maps
+// between the dense representation and a tuple of bounded fields.
+package codec
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+)
+
+// MaxSpace is the largest admissible state-space size. Constructions whose
+// state space would exceed this are rejected at build time: they cannot be
+// simulated faithfully on 64-bit words (and are far beyond laptop scale
+// anyway).
+const MaxSpace = uint64(1) << 62
+
+// ErrSpaceTooLarge is returned when the product of field radices exceeds
+// MaxSpace.
+var ErrSpaceTooLarge = errors.New("codec: state space exceeds 2^62")
+
+// Codec converts between a dense state value and a tuple of fields, where
+// field i ranges over [0, radix[i]). Field 0 is the least significant.
+// The zero value is unusable; construct with New.
+type Codec struct {
+	radices []uint64
+	space   uint64
+}
+
+// New builds a Codec for the given field radices. Every radix must be at
+// least 1 (a radix-1 field carries no information but is permitted so that
+// degenerate parameters need no special-casing).
+func New(radices ...uint64) (*Codec, error) {
+	if len(radices) == 0 {
+		return nil, errors.New("codec: no fields")
+	}
+	space := uint64(1)
+	for i, r := range radices {
+		if r == 0 {
+			return nil, fmt.Errorf("codec: field %d has radix 0", i)
+		}
+		hi, lo := bits.Mul64(space, r)
+		if hi != 0 || lo > MaxSpace {
+			return nil, fmt.Errorf("%w (fields %v)", ErrSpaceTooLarge, radices)
+		}
+		space = lo
+	}
+	c := &Codec{
+		radices: append([]uint64(nil), radices...),
+		space:   space,
+	}
+	return c, nil
+}
+
+// MustNew is New for statically known-good radices; it panics on error and
+// is intended for package initialisation and tests only.
+func MustNew(radices ...uint64) *Codec {
+	c, err := New(radices...)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Space returns |X|, the number of distinct encodable states.
+func (c *Codec) Space() uint64 { return c.space }
+
+// Bits returns ceil(log2 |X|), the paper's space complexity measure.
+func (c *Codec) Bits() int { return SpaceBits(c.space) }
+
+// Fields returns the number of fields.
+func (c *Codec) Fields() int { return len(c.radices) }
+
+// Radix returns the radix of field i.
+func (c *Codec) Radix(i int) uint64 { return c.radices[i] }
+
+// Pack encodes the given field values. It returns an error if the number
+// of fields is wrong or any field is out of range; honest code never hits
+// these, but the adversary API is easier to audit when Pack is total.
+func (c *Codec) Pack(fields ...uint64) (uint64, error) {
+	if len(fields) != len(c.radices) {
+		return 0, fmt.Errorf("codec: got %d fields, want %d", len(fields), len(c.radices))
+	}
+	var v uint64
+	for i := len(fields) - 1; i >= 0; i-- {
+		if fields[i] >= c.radices[i] {
+			return 0, fmt.Errorf("codec: field %d value %d out of range [0,%d)", i, fields[i], c.radices[i])
+		}
+		v = v*c.radices[i] + fields[i]
+	}
+	return v, nil
+}
+
+// MustPack is Pack for values the caller guarantees are in range.
+func (c *Codec) MustPack(fields ...uint64) uint64 {
+	v, err := c.Pack(fields...)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// Unpack decodes state v into its fields, appending to dst (which may be
+// nil). Values v >= Space() — which only an adversary can produce when a
+// construction layers codecs — are reduced modulo Space() first so that
+// decoding is total.
+func (c *Codec) Unpack(v uint64, dst []uint64) []uint64 {
+	v %= c.space
+	for _, r := range c.radices {
+		dst = append(dst, v%r)
+		v /= r
+	}
+	return dst
+}
+
+// Field extracts a single field from the dense value without allocating.
+func (c *Codec) Field(v uint64, i int) uint64 {
+	v %= c.space
+	for j := 0; j < i; j++ {
+		v /= c.radices[j]
+	}
+	return v % c.radices[i]
+}
+
+// WithField returns v with field i replaced by x (reduced mod the radix).
+func (c *Codec) WithField(v uint64, i int, x uint64) uint64 {
+	v %= c.space
+	lo := uint64(1)
+	for j := 0; j < i; j++ {
+		lo *= c.radices[j]
+	}
+	r := c.radices[i]
+	old := v / lo % r
+	return v + (x%r-old)*lo
+}
+
+// SpaceBits returns ceil(log2 space): the number of bits needed to store
+// one state drawn from a space of the given size.
+func SpaceBits(space uint64) int {
+	if space <= 1 {
+		return 0
+	}
+	return bits.Len64(space - 1)
+}
+
+// MulSpaces multiplies state-space sizes, guarding against overflow of
+// MaxSpace.
+func MulSpaces(spaces ...uint64) (uint64, error) {
+	prod := uint64(1)
+	for _, s := range spaces {
+		if s == 0 {
+			return 0, errors.New("codec: zero-sized space")
+		}
+		if s > MaxSpace/prod {
+			return 0, ErrSpaceTooLarge
+		}
+		prod *= s
+	}
+	return prod, nil
+}
+
+// PowSpace returns base^exp or an error if it exceeds MaxSpace. It is used
+// by planners that need (2m)^k factors.
+func PowSpace(base uint64, exp int) (uint64, error) {
+	if base == 0 {
+		return 0, errors.New("codec: zero base")
+	}
+	result := uint64(1)
+	for i := 0; i < exp; i++ {
+		if result > MaxSpace/base {
+			return 0, ErrSpaceTooLarge
+		}
+		result *= base
+	}
+	return result, nil
+}

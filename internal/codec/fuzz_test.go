@@ -1,0 +1,37 @@
+package codec
+
+import "testing"
+
+// FuzzPackUnpack fuzzes the mixed-radix round trip: any in-range tuple
+// must survive Pack/Unpack, and any word — in range or not — must
+// Unpack into in-range fields without panicking.
+func FuzzPackUnpack(f *testing.F) {
+	f.Add(uint64(0), uint64(0), uint64(0), uint64(0))
+	f.Add(uint64(2303), uint64(960), uint64(1), uint64(10))
+	f.Add(^uint64(0), uint64(7), uint64(0), uint64(3))
+	f.Fuzz(func(t *testing.T, a, b, c, d uint64) {
+		cdc := MustNew(2304, 961, 2, 11)
+		fields := []uint64{a % 2304, b % 961, c % 2, d % 11}
+		v, err := cdc.Pack(fields...)
+		if err != nil {
+			t.Fatalf("Pack(%v): %v", fields, err)
+		}
+		if v >= cdc.Space() {
+			t.Fatalf("packed %d outside space %d", v, cdc.Space())
+		}
+		out := cdc.Unpack(v, nil)
+		for i := range fields {
+			if out[i] != fields[i] {
+				t.Fatalf("round trip %v -> %v", fields, out)
+			}
+		}
+		// Arbitrary (possibly out-of-space) words must decode totally.
+		junk := a ^ b<<20 ^ c<<40 ^ d<<55
+		out = cdc.Unpack(junk, out[:0])
+		for i, x := range out {
+			if x >= cdc.Radix(i) {
+				t.Fatalf("Unpack(%d): field %d = %d out of range", junk, i, x)
+			}
+		}
+	})
+}

@@ -1,0 +1,163 @@
+package counter
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/synchcount/synchcount/internal/alg"
+)
+
+func TestNewTrivialValidation(t *testing.T) {
+	if _, err := NewTrivial(1); err == nil {
+		t.Error("NewTrivial(1) should fail")
+	}
+	c, err := NewTrivial(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.N() != 1 || c.F() != 0 || c.C() != 5 || c.StateSpace() != 5 {
+		t.Fatalf("unexpected parameters: n=%d f=%d c=%d space=%d", c.N(), c.F(), c.C(), c.StateSpace())
+	}
+	if alg.StateBits(c) != 3 {
+		t.Fatalf("StateBits = %d, want 3", alg.StateBits(c))
+	}
+	if !alg.IsDeterministic(c) {
+		t.Error("trivial counter must be deterministic")
+	}
+}
+
+func TestTrivialCounts(t *testing.T) {
+	c, _ := NewTrivial(3)
+	s := uint64(2)
+	want := []int{2, 0, 1, 2, 0, 1}
+	for i, w := range want {
+		if got := c.Output(0, s); got != w {
+			t.Fatalf("step %d: output %d, want %d", i, got, w)
+		}
+		s = c.Step(0, []uint64{s}, nil)
+	}
+}
+
+func TestTrivialReducesOutOfRangeState(t *testing.T) {
+	c, _ := NewTrivial(4)
+	// Arbitrary initial states include encodings out of range after
+	// adversarial injection in layered constructions.
+	if got := c.Step(0, []uint64{^uint64(0)}, nil); got >= 4 {
+		t.Fatalf("Step produced out-of-space state %d", got)
+	}
+}
+
+func TestMaxStepValidation(t *testing.T) {
+	if _, err := NewMaxStep(0, 4); err == nil {
+		t.Error("NewMaxStep(0,4) should fail")
+	}
+	if _, err := NewMaxStep(3, 1); err == nil {
+		t.Error("NewMaxStep(3,1) should fail")
+	}
+}
+
+func TestMaxStepAgreesInOneRound(t *testing.T) {
+	m, err := NewMaxStep(5, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		states := make([]uint64, 5)
+		for i := range states {
+			states[i] = uint64(rng.Intn(7))
+		}
+		next := make([]uint64, 5)
+		for i := range next {
+			next[i] = m.Step(i, states, nil)
+		}
+		for i := 1; i < 5; i++ {
+			if next[i] != next[0] {
+				t.Fatalf("trial %d: nodes disagree after one fault-free round: %v", trial, next)
+			}
+		}
+		// And from then on they count together.
+		again := m.Step(2, next, nil)
+		if again != (next[0]+1)%7 {
+			t.Fatalf("trial %d: second round did not increment: %d -> %d", trial, next[0], again)
+		}
+	}
+}
+
+func TestRandomizedValidation(t *testing.T) {
+	if _, err := NewRandomizedAgree(3, 1); err == nil {
+		t.Error("n=3,f=1 violates f<n/3 and should fail")
+	}
+	if _, err := NewRandomizedAgree(4, -1); err == nil {
+		t.Error("negative f should fail")
+	}
+	if _, err := NewRandomizedBiased(6, 2); err == nil {
+		t.Error("n=6,f=2 violates f<n/3 and should fail")
+	}
+	if _, err := NewRandomizedBiased(7, 2); err != nil {
+		t.Errorf("n=7,f=2 should be accepted: %v", err)
+	}
+}
+
+func TestRandomizedAgreePersistence(t *testing.T) {
+	// Once all correct nodes hold the same bit, counting persists no
+	// matter what the f Byzantine slots contain: the n-f correct states
+	// alone reach the unanimity threshold.
+	r, err := NewRandomizedAgree(4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		bit := uint64(trial % 2)
+		recv := []uint64{bit, bit, bit, uint64(rng.Intn(2))} // node 3 Byzantine
+		for node := 0; node < 3; node++ {
+			got := r.Step(node, recv, rng)
+			if got != (bit+1)%2 {
+				t.Fatalf("trial %d node %d: Step = %d, want %d", trial, node, got, (bit+1)%2)
+			}
+		}
+	}
+}
+
+func TestRandomizedBiasedPersistence(t *testing.T) {
+	r, err := NewRandomizedBiased(4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 200; trial++ {
+		bit := uint64(trial % 2)
+		recv := []uint64{bit, bit, bit, uint64(rng.Intn(2))}
+		for node := 0; node < 3; node++ {
+			if got := r.Step(node, recv, rng); got != (bit+1)%2 {
+				t.Fatalf("trial %d node %d: Step = %d, want %d", trial, node, got, (bit+1)%2)
+			}
+		}
+	}
+}
+
+func TestRandomizedBothThresholdsImpossible(t *testing.T) {
+	// With f < n/3 the two unanimity thresholds cannot both fire; this is
+	// the property that makes the deterministic branch well defined.
+	for n := 4; n <= 13; n++ {
+		f := (n - 1) / 3
+		if 2*(n-f) <= n {
+			t.Fatalf("n=%d f=%d: thresholds can overlap — model violation", n, f)
+		}
+	}
+}
+
+func TestRandomizedOutputs(t *testing.T) {
+	r, _ := NewRandomizedAgree(4, 1)
+	if r.Output(0, 0) != 0 || r.Output(0, 1) != 1 {
+		t.Error("RandomizedAgree output must be the state bit")
+	}
+	if alg.IsDeterministic(r) {
+		t.Error("RandomizedAgree must not claim determinism")
+	}
+	b, _ := NewRandomizedBiased(4, 1)
+	if b.Output(0, 1) != 1 {
+		t.Error("RandomizedBiased output must be the state bit")
+	}
+}

@@ -1,0 +1,44 @@
+package phaseking
+
+import (
+	"testing"
+
+	"github.com/synchcount/synchcount/internal/alg"
+)
+
+// FuzzStepTotal fuzzes the phase king instruction engine with arbitrary
+// register values, tallies and king reports: the engine must never
+// panic and must keep registers in [0,C) ∪ {∞} with d ∈ {0,1}.
+func FuzzStepTotal(f *testing.F) {
+	f.Add(uint64(3), uint64(1), uint64(7), uint64(2), uint64(5), uint64(0))
+	f.Add(^uint64(0), uint64(0), uint64(0), ^uint64(0), uint64(1), uint64(17))
+	f.Fuzz(func(t *testing.T, a, d, t1, t2, kingA, r uint64) {
+		const c = 10
+		cfg := Config{C: c, Thresholds: Thresholds{Strong: 5, Weak: 2}}
+		regs := Registers{A: a, D: d % 2}
+		if regs.A != Infinity {
+			regs.A %= c
+		}
+		tally := alg.NewTally(8)
+		for i := uint64(0); i < 3; i++ {
+			tally.Add(t1 % (c + 1))
+			tally.Add(t2 % (c + 2)) // may tally out-of-domain garbage
+		}
+		tally.Add(Infinity)
+		if kingA != Infinity {
+			kingA %= c + 3 // may exceed C: engine must clamp
+		}
+		out := Step(cfg, regs, r, tally, kingA)
+		if out.D > 1 {
+			t.Fatalf("d = %d", out.D)
+		}
+		if out.A != Infinity && out.A >= c {
+			t.Fatalf("a = %d outside [0,%d) ∪ {∞}", out.A, c)
+		}
+		// Encode must always produce valid codec fields.
+		aF, dF := out.Encode(c)
+		if aF > c || dF > 1 {
+			t.Fatalf("Encode = (%d,%d)", aF, dF)
+		}
+	})
+}

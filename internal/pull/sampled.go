@@ -1,0 +1,211 @@
+package pull
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/synchcount/synchcount/internal/alg"
+	"github.com/synchcount/synchcount/internal/boost"
+	"github.com/synchcount/synchcount/internal/phaseking"
+)
+
+// SampledCounter is the randomised pulling-model counter of Theorem 4:
+// the resilience-boosting construction of Theorem 1 with its two
+// broadcast-dependent steps — the leader-block majority vote and the
+// phase king quorum checks — replaced by uniform sampling of M states
+// (with repetition, per Lemma 9), and quorum thresholds N−F and F
+// replaced by ⌈2M/3⌉ and ⌊M/3⌋ (Lemma 8).
+//
+// Per round, a correct node pulls
+//
+//	(n−1) blockmates + k·M block samples + M phase king samples + 1 king
+//
+// messages, i.e. O(k·M) = O(k log η) for M = Θ(log η) — against N−1 for
+// the deterministic broadcast embedding.
+//
+// With Pseudo set, all sampling wires are drawn once at construction and
+// reused every round: the pseudo-random counters of Corollary 5, which
+// stabilise with high probability against an oblivious adversary and
+// then count deterministically forever.
+type SampledCounter struct {
+	top    *boost.Counter
+	m      int
+	pseudo bool
+
+	pkCfg phaseking.Config
+
+	// Fixed wiring for the pseudo-random variant.
+	blockWires [][][]int // [node][block][sample] -> target
+	tallyWires [][]int   // [node][sample] -> target
+}
+
+var _ Algorithm = (*SampledCounter)(nil)
+
+// NewSampled wraps the boosted counter with sampled communication.
+// samples is M; pseudo selects the Corollary 5 fixed-wiring variant,
+// whose wires are drawn from wireSeed.
+func NewSampled(top *boost.Counter, samples int, pseudo bool, wireSeed int64) (*SampledCounter, error) {
+	if top == nil {
+		return nil, fmt.Errorf("pull: nil boosted counter")
+	}
+	if samples < 3 {
+		return nil, fmt.Errorf("pull: need at least 3 samples, got %d", samples)
+	}
+	s := &SampledCounter{
+		top:    top,
+		m:      samples,
+		pseudo: pseudo,
+		pkCfg: phaseking.Config{
+			C: uint64(top.C()),
+			Thresholds: phaseking.Thresholds{
+				Strong: (2*samples + 2) / 3, // ⌈2M/3⌉
+				Weak:   samples / 3,         // counts > ⌊M/3⌋ pass the weak check
+			},
+		},
+	}
+	if err := s.pkCfg.Validate(); err != nil {
+		return nil, err
+	}
+	if pseudo {
+		rng := rand.New(rand.NewSource(wireSeed))
+		n := top.N() / top.K()
+		s.blockWires = make([][][]int, top.N())
+		s.tallyWires = make([][]int, top.N())
+		for v := 0; v < top.N(); v++ {
+			s.blockWires[v] = make([][]int, top.K())
+			for blk := 0; blk < top.K(); blk++ {
+				wires := make([]int, samples)
+				for i := range wires {
+					wires[i] = blk*n + rng.Intn(n)
+				}
+				s.blockWires[v][blk] = wires
+			}
+			wires := make([]int, samples)
+			for i := range wires {
+				wires[i] = rng.Intn(top.N())
+			}
+			s.tallyWires[v] = wires
+		}
+	}
+	return s, nil
+}
+
+// M returns the sample size.
+func (s *SampledCounter) M() int { return s.m }
+
+// Pseudo reports whether the fixed-wiring (Corollary 5) variant is
+// active.
+func (s *SampledCounter) Pseudo() bool { return s.pseudo }
+
+// Boosted returns the underlying deterministic construction.
+func (s *SampledCounter) Boosted() *boost.Counter { return s.top }
+
+// PullsPerRound returns the deterministic per-node pull count:
+// (n−1) + k·M + M + 1.
+func (s *SampledCounter) PullsPerRound() uint64 {
+	n := s.top.N() / s.top.K()
+	return uint64(n-1) + uint64(s.top.K()*s.m) + uint64(s.m) + 1
+}
+
+// N implements Algorithm.
+func (s *SampledCounter) N() int { return s.top.N() }
+
+// F implements Algorithm.
+func (s *SampledCounter) F() int { return s.top.F() }
+
+// C implements Algorithm.
+func (s *SampledCounter) C() int { return s.top.C() }
+
+// StateSpace implements Algorithm: identical to the deterministic
+// construction — sampling costs no extra state (the paper's S(P) =
+// S(A) + ⌈log(C+1)⌉ + 1).
+func (s *SampledCounter) StateSpace() uint64 { return s.top.StateSpace() }
+
+// Output implements Algorithm.
+func (s *SampledCounter) Output(node int, st alg.State) int { return s.top.Output(node, st) }
+
+// Step implements Algorithm.
+func (s *SampledCounter) Step(v int, own alg.State, pull Puller, rng *rand.Rand) alg.State {
+	top := s.top
+	k := top.K()
+	n := top.N() / k
+	i, j := top.BlockOf(v), top.IndexInBlock(v)
+
+	// (1) Full-information update of the block algorithm A_i: blocks are
+	// small, so the paper runs them deterministically ("if N is small we
+	// can perform the step using the deterministic algorithm").
+	blockRecv := make([]alg.State, n)
+	for jj := 0; jj < n; jj++ {
+		u := i*n + jj
+		if u == v {
+			blockRecv[jj] = top.BaseState(own)
+			continue
+		}
+		blockRecv[jj] = top.BaseState(pull(u))
+	}
+	newBase := top.Base().Step(j, blockRecv, rng)
+
+	// (2) Sampled leader vote (Lemma 9): M states per block, with
+	// repetition.
+	type sample struct {
+		target int
+		state  alg.State
+	}
+	blockSamples := make([][]sample, k)
+	tally := alg.NewTally(s.m)
+	blockVotes := make([]uint64, k)
+	for blk := 0; blk < k; blk++ {
+		samples := make([]sample, s.m)
+		tally.Reset()
+		for idx := 0; idx < s.m; idx++ {
+			var target int
+			if s.pseudo {
+				target = s.blockWires[v][blk][idx]
+			} else {
+				target = blk*n + rng.Intn(n)
+			}
+			st := pull(target)
+			samples[idx] = sample{target: target, state: st}
+			_, _, ptr := top.Leader(target, st)
+			tally.Add(ptr)
+		}
+		blockSamples[blk] = samples
+		vote, _ := tally.Majority()
+		blockVotes[blk] = vote
+	}
+	bigB := alg.Majority(blockVotes)
+	if bigB >= uint64(k) {
+		bigB = 0
+	}
+	tally.Reset()
+	for _, smp := range blockSamples[bigB] {
+		r, _, _ := top.Leader(smp.target, smp.state)
+		tally.Add(r)
+	}
+	bigR, _ := tally.Majority()
+	bigR %= top.Tau()
+
+	// (3) Sampled phase king (Lemma 8): M register samples from the whole
+	// network, thresholds 2/3·M and 1/3·M.
+	tally.Reset()
+	for idx := 0; idx < s.m; idx++ {
+		var target int
+		if s.pseudo {
+			target = s.tallyWires[v][idx]
+		} else {
+			target = rng.Intn(top.N())
+		}
+		tally.Add(top.Registers(pull(target)).A)
+	}
+	// One adaptive pull for the king selected by R.
+	king := int(phaseking.KingOf(bigR))
+	kingA := top.Registers(pull(king)).A
+
+	regs := phaseking.Step(s.pkCfg, top.Registers(own), bigR, tally, kingA)
+	st, err := top.Encode(newBase, regs)
+	if err != nil {
+		// Unreachable: newBase comes from the base algorithm.
+		return own
+	}
+	return st
+}

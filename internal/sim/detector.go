@@ -1,0 +1,85 @@
+package sim
+
+// Detector performs online stabilisation detection over a stream of
+// per-round observations: it finds the earliest round t such that from t
+// onward all correct nodes output a common value that increments by one
+// modulo c each round, and (after a first confirmation) counts any later
+// violations — the quantity that bounds the failure probability of the
+// probabilistic counters of Section 5.
+//
+// The zero value is not usable; construct with NewDetector.
+type Detector struct {
+	c      int
+	window uint64
+
+	haveStreak  bool
+	streakStart uint64
+	prevOut     int
+
+	confirmed     bool
+	confirmedTime uint64
+	violations    uint64
+}
+
+// NewDetector returns a detector for counting modulo c that requires
+// window consecutive correct rounds before declaring stabilisation.
+func NewDetector(c int, window uint64) *Detector {
+	if window == 0 {
+		window = DefaultWindowFor(c)
+	}
+	return &Detector{c: c, window: window}
+}
+
+// Observe records the outputs of one round: whether all correct nodes
+// agreed, and on which value. It returns true once stabilisation has
+// been confirmed (the streak has reached the window length).
+func (d *Detector) Observe(round uint64, agree bool, common int) bool {
+	ok := false
+	switch {
+	case !agree:
+		d.haveStreak = false
+	case !d.haveStreak:
+		d.haveStreak = true
+		d.streakStart = round
+		d.prevOut = common
+		ok = true
+	case common != (d.prevOut+1)%d.c:
+		// The counter jumped or stalled: counting broke *this* round
+		// (a violation if already confirmed), though the agreed value
+		// can seed a fresh streak.
+		d.streakStart = round
+		d.prevOut = common
+		ok = false
+	default:
+		d.prevOut = common
+		ok = true
+	}
+	if d.confirmed && !ok {
+		d.violations++
+	}
+	if !d.confirmed && d.haveStreak && round-d.streakStart+1 >= d.window {
+		d.confirmed = true
+		d.confirmedTime = d.streakStart
+	}
+	return d.confirmed
+}
+
+// Stabilised reports whether a full window has been confirmed.
+func (d *Detector) Stabilised() bool { return d.confirmed }
+
+// Time returns the first round of the confirmed streak; valid when
+// Stabilised.
+func (d *Detector) Time() uint64 { return d.confirmedTime }
+
+// CurrentStreakStart returns the start of the streak in progress and
+// whether one exists (used by callers that run to a fixed horizon and
+// want to re-confirm at the end).
+func (d *Detector) CurrentStreakStart() (uint64, bool) { return d.streakStart, d.haveStreak }
+
+// Violations counts rounds that broke agreement or the increment rule
+// *after* the first confirmation — the empirical failure count for
+// probabilistic counters.
+func (d *Detector) Violations() uint64 { return d.violations }
+
+// Window returns the configured confirmation window.
+func (d *Detector) Window() uint64 { return d.window }

@@ -1,0 +1,303 @@
+// Package sim is the synchronous full-information network simulator.
+//
+// It implements exactly the model of Section 2 of the paper: computation
+// proceeds in lock-step rounds; in each round every processor broadcasts
+// its state, receives the vector of all n states, and applies its
+// transition function. Initial states are arbitrary (here: adversarially
+// seeded or uniformly random), and up to f Byzantine nodes may present
+// different states to different receivers, as chosen by an
+// adversary.Adversary.
+//
+// The simulator also performs online stabilisation detection: it finds
+// the earliest round t such that from t onward all correct nodes output
+// the same value and increment it by one modulo c each round.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"github.com/synchcount/synchcount/internal/adversary"
+	"github.com/synchcount/synchcount/internal/alg"
+)
+
+// DefaultWindowFor returns the default number of consecutive correct
+// rounds required before a run is declared stabilised: two full counter
+// cycles plus slack, so that "accidental" agreement cannot be mistaken
+// for stabilisation.
+func DefaultWindowFor(c int) uint64 { return uint64(2*c + 16) }
+
+// Config describes one simulation run.
+type Config struct {
+	// Alg is the algorithm under test.
+	Alg alg.Algorithm
+
+	// Faulty lists the Byzantine node indices. len(Faulty) may be at most
+	// Alg.F() for the run to be within the design envelope; the simulator
+	// permits more (for overload experiments) but Result.Overloaded is
+	// then set.
+	Faulty []int
+
+	// Adv chooses Byzantine messages. Defaults to adversary.Equivocate
+	// when nil and Faulty is non-empty.
+	Adv adversary.Adversary
+
+	// Seed drives all randomness: initial states, per-node coins, and the
+	// adversary stream. Runs are reproducible given (Config, Seed).
+	Seed int64
+
+	// MaxRounds bounds the execution length. Required.
+	MaxRounds uint64
+
+	// Window is the number of consecutive correct counting rounds needed
+	// to declare stabilisation. Defaults to DefaultWindowFor(Alg.C()).
+	Window uint64
+
+	// Init optionally fixes the initial states (length N). When nil,
+	// initial states are uniform over the state space — the adversary
+	// additionally controls what faulty nodes send, so arbitrary initial
+	// configurations are covered by seeds plus adversary choice.
+	Init []alg.State
+
+	// StopEarly stops the run once the stabilisation window has been
+	// confirmed (default true via Run; RunFull disables it).
+	StopEarly bool
+
+	// OnRound, when non-nil, observes every round: it receives the round
+	// number, start-of-round states, and outputs of all nodes (entries of
+	// faulty nodes are present but meaningless). Used by the figure
+	// harnesses to record traces.
+	OnRound func(round uint64, states []alg.State, outputs []int)
+}
+
+// Result reports the outcome of a run.
+type Result struct {
+	// Stabilised reports whether a correct-counting streak of at least
+	// Window rounds was observed.
+	Stabilised bool
+	// StabilisationTime is the first round of that streak — the measured
+	// t such that all later observed rounds count correctly. Only valid
+	// when Stabilised.
+	StabilisationTime uint64
+	// RoundsRun is the number of rounds actually simulated.
+	RoundsRun uint64
+	// Overloaded reports that more than Alg.F() faults were injected.
+	Overloaded bool
+	// Violations counts rounds that broke agreement or the increment
+	// rule after stabilisation was first confirmed (always 0 for a
+	// correct deterministic algorithm within its fault budget; the
+	// empirical failure count for probabilistic counters).
+	Violations uint64
+	// MessagesPerRound is the number of point-to-point messages correct
+	// nodes send per round in the broadcast model: each of the n-|F|
+	// correct nodes sends to n-1 peers.
+	MessagesPerRound uint64
+	// BitsPerRound is MessagesPerRound times the state size in bits.
+	BitsPerRound uint64
+}
+
+// Run executes the configured simulation, stopping early once
+// stabilisation is confirmed.
+func Run(cfg Config) (Result, error) {
+	cfg.StopEarly = true
+	return run(cfg)
+}
+
+// RunFull executes the configured simulation for exactly MaxRounds,
+// regardless of when stabilisation occurs (used to double-check that
+// agreement persists).
+func RunFull(cfg Config) (Result, error) {
+	cfg.StopEarly = false
+	return run(cfg)
+}
+
+func run(cfg Config) (Result, error) {
+	a := cfg.Alg
+	if a == nil {
+		return Result{}, errors.New("sim: nil algorithm")
+	}
+	if cfg.MaxRounds == 0 {
+		return Result{}, errors.New("sim: MaxRounds must be positive")
+	}
+	n := a.N()
+	c := a.C()
+	if c < 2 {
+		return Result{}, fmt.Errorf("sim: algorithm has counter modulus %d < 2", c)
+	}
+	faulty := make([]bool, n)
+	for _, i := range cfg.Faulty {
+		if i < 0 || i >= n {
+			return Result{}, fmt.Errorf("sim: faulty node %d out of range [0,%d)", i, n)
+		}
+		if faulty[i] {
+			return Result{}, fmt.Errorf("sim: faulty node %d listed twice", i)
+		}
+		faulty[i] = true
+	}
+	adv := cfg.Adv
+	if adv == nil {
+		adv = adversary.Equivocate{}
+	}
+	window := cfg.Window
+	if window == 0 {
+		window = DefaultWindowFor(c)
+	}
+
+	// Independent, reproducible randomness streams.
+	seeder := rand.New(rand.NewSource(cfg.Seed))
+	initRng := rand.New(rand.NewSource(seeder.Int63()))
+	advRng := rand.New(rand.NewSource(seeder.Int63()))
+	advBase := seeder.Int63()
+	nodeRngs := make([]*rand.Rand, n)
+	for i := range nodeRngs {
+		nodeRngs[i] = rand.New(rand.NewSource(seeder.Int63()))
+	}
+
+	space := a.StateSpace()
+	states := make([]alg.State, n)
+	if cfg.Init != nil {
+		if len(cfg.Init) != n {
+			return Result{}, fmt.Errorf("sim: Init has %d states, want %d", len(cfg.Init), n)
+		}
+		for i, s := range cfg.Init {
+			if s >= space {
+				return Result{}, fmt.Errorf("sim: Init[%d] = %d outside state space %d", i, s, space)
+			}
+			states[i] = s
+		}
+	} else {
+		for i := range states {
+			states[i] = uniformState(initRng, space)
+		}
+	}
+
+	next := make([]alg.State, n)
+	recv := make([]alg.State, n)
+	outputs := make([]int, n)
+
+	correctCount := 0
+	for _, f := range faulty {
+		if !f {
+			correctCount++
+		}
+	}
+	res := Result{
+		Overloaded:       len(cfg.Faulty) > a.F(),
+		MessagesPerRound: uint64(correctCount) * uint64(n-1),
+		BitsPerRound:     uint64(correctCount) * uint64(n-1) * uint64(alg.StateBits(a)),
+	}
+
+	view := &adversary.View{
+		States: states,
+		Faulty: faulty,
+		Space:  space,
+		Rng:    advRng,
+	}
+	view.SetBaseSeed(advBase)
+
+	det := NewDetector(c, window)
+
+	for round := uint64(0); round < cfg.MaxRounds; round++ {
+		// Observe outputs of the start-of-round configuration.
+		agree := true
+		common := -1
+		for i := 0; i < n; i++ {
+			outputs[i] = a.Output(i, states[i])
+			if faulty[i] {
+				continue
+			}
+			if common == -1 {
+				common = outputs[i]
+			} else if outputs[i] != common {
+				agree = false
+			}
+		}
+		if cfg.OnRound != nil {
+			cfg.OnRound(round, states, outputs)
+		}
+		res.RoundsRun = round + 1
+		if det.Observe(round, agree, common) {
+			res.Stabilised = true
+			res.StabilisationTime = det.Time()
+			res.Violations = det.Violations()
+			if cfg.StopEarly {
+				return res, nil
+			}
+		}
+
+		// Deliver messages and step every correct node.
+		view.Round = round
+		for v := 0; v < n; v++ {
+			if faulty[v] {
+				next[v] = states[v]
+				continue
+			}
+			for u := 0; u < n; u++ {
+				if faulty[u] {
+					recv[u] = adv.Message(view, u, v) % space
+				} else {
+					recv[u] = states[u]
+				}
+			}
+			next[v] = a.Step(v, recv, nodeRngs[v])
+			if next[v] >= space {
+				return Result{}, fmt.Errorf("sim: node %d stepped outside state space (%d >= %d)", v, next[v], space)
+			}
+		}
+		copy(states, next)
+	}
+	res.Violations = det.Violations()
+	return res, nil
+}
+
+func uniformState(rng *rand.Rand, space uint64) alg.State {
+	if space <= 1 {
+		return 0
+	}
+	return alg.State(rng.Int63n(int64(space)))
+}
+
+// Stats aggregates stabilisation times across repeated runs.
+type Stats struct {
+	Trials     int
+	Stabilised int
+	MinTime    uint64
+	MaxTime    uint64
+	MeanTime   float64
+}
+
+// RunMany runs the configuration across `trials` seeds derived from
+// cfg.Seed and aggregates the measured stabilisation times.
+func RunMany(cfg Config, trials int) (Stats, error) {
+	if trials <= 0 {
+		return Stats{}, errors.New("sim: trials must be positive")
+	}
+	seeder := rand.New(rand.NewSource(cfg.Seed))
+	var st Stats
+	st.Trials = trials
+	var sum float64
+	for i := 0; i < trials; i++ {
+		c := cfg
+		c.Seed = seeder.Int63()
+		r, err := Run(c)
+		if err != nil {
+			return Stats{}, fmt.Errorf("trial %d: %w", i, err)
+		}
+		if !r.Stabilised {
+			continue
+		}
+		if st.Stabilised == 0 || r.StabilisationTime < st.MinTime {
+			st.MinTime = r.StabilisationTime
+		}
+		if r.StabilisationTime > st.MaxTime {
+			st.MaxTime = r.StabilisationTime
+		}
+		st.Stabilised++
+		sum += float64(r.StabilisationTime)
+	}
+	if st.Stabilised > 0 {
+		st.MeanTime = sum / float64(st.Stabilised)
+	}
+	return st, nil
+}

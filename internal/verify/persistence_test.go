@@ -1,0 +1,99 @@
+package verify
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/synchcount/synchcount/internal/alg"
+	"github.com/synchcount/synchcount/internal/counter"
+)
+
+func TestPersistenceOfBaselines(t *testing.T) {
+	algs := []struct {
+		name string
+		mk   func() (alg.Algorithm, error)
+	}{
+		{"trivial", func() (alg.Algorithm, error) { return counter.NewTrivial(6) }},
+		{"maxstep", func() (alg.Algorithm, error) { return counter.NewMaxStep(4, 5) }},
+		{"randomized-agree", func() (alg.Algorithm, error) { return counter.NewRandomizedAgree(4, 1) }},
+		{"randomized-agree-7-2", func() (alg.Algorithm, error) { return counter.NewRandomizedAgree(7, 2) }},
+		{"randomized-biased", func() (alg.Algorithm, error) { return counter.NewRandomizedBiased(7, 2) }},
+	}
+	for _, tc := range algs {
+		t.Run(tc.name, func(t *testing.T) {
+			a, err := tc.mk()
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := CheckPersistence(a, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.OK {
+				t.Fatalf("persistence violated: %s", res.Violation)
+			}
+			if res.ConfigsChecked == 0 {
+				t.Fatal("nothing checked")
+			}
+		})
+	}
+}
+
+// coinAfterAgreement keeps flipping coins even when everyone agrees — a
+// broken randomised counter whose stabilisation can be lost.
+type coinAfterAgreement struct{}
+
+func (coinAfterAgreement) N() int             { return 4 }
+func (coinAfterAgreement) F() int             { return 1 }
+func (coinAfterAgreement) C() int             { return 2 }
+func (coinAfterAgreement) StateSpace() uint64 { return 2 }
+func (coinAfterAgreement) Step(_ int, recv []alg.State, rng *rand.Rand) alg.State {
+	return alg.State(rng.Intn(2))
+}
+func (coinAfterAgreement) Output(_ int, s alg.State) int { return int(s % 2) }
+
+func TestPersistenceRejectsCoinAfterAgreement(t *testing.T) {
+	res, err := CheckPersistence(coinAfterAgreement{}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OK {
+		t.Fatal("an always-random algorithm must fail the persistence check")
+	}
+}
+
+// byzSwayed lets the Byzantine slot decide the successor even from
+// unanimity.
+type byzSwayed struct{}
+
+func (byzSwayed) N() int             { return 4 }
+func (byzSwayed) F() int             { return 1 }
+func (byzSwayed) C() int             { return 2 }
+func (byzSwayed) StateSpace() uint64 { return 2 }
+func (byzSwayed) Step(_ int, recv []alg.State, _ *rand.Rand) alg.State {
+	// Parity of all received bits: one Byzantine bit flips the result.
+	var x alg.State
+	for _, s := range recv {
+		x ^= s & 1
+	}
+	return x
+}
+func (byzSwayed) Output(_ int, s alg.State) int { return int(s % 2) }
+func (byzSwayed) Deterministic() bool           { return true }
+
+func TestPersistenceRejectsByzantineInfluence(t *testing.T) {
+	res, err := CheckPersistence(byzSwayed{}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OK {
+		t.Fatal("a parity-of-all-inputs rule must fail the persistence check")
+	}
+}
+
+func TestPersistenceLimits(t *testing.T) {
+	triv, _ := counter.NewTrivial(64)
+	if _, err := CheckPersistence(triv, Options{MaxConfigs: 8}); err == nil {
+		t.Fatal("config limit not enforced")
+	}
+}
