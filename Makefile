@@ -1,0 +1,36 @@
+# Targets mirror .github/workflows/ci.yml exactly, so a green `make ci`
+# locally means a green CI run.
+
+GO ?= go
+
+.PHONY: build test race bench fuzz-smoke fmt fmt-check vet ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
+
+fuzz-smoke:
+	$(GO) test -run='^$$' -fuzz='^FuzzPackUnpack$$' -fuzztime=10s ./internal/codec
+	$(GO) test -run='^$$' -fuzz='^FuzzStepTotal$$' -fuzztime=10s ./internal/phaseking
+	$(GO) test -run='^$$' -fuzz='^FuzzStepTotal$$' -fuzztime=10s ./internal/boost
+
+fmt:
+	gofmt -w .
+
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "files need gofmt:" >&2; echo "$$out" >&2; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+ci: build vet fmt-check race fuzz-smoke bench

@@ -16,6 +16,7 @@
 package synchcount_test
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -505,6 +506,73 @@ func BenchmarkPulling_PseudoRandom(b *testing.B) {
 	}
 	pullOnce(b, s, horizon)
 }
+
+// --- campaign harness throughput ---------------------------------------
+
+// harnessCampaign builds a fixed-size campaign of equal-cost
+// deterministic trials: the A(12,3) stack under the saboteur from the
+// worst-case initial configuration, run for a fixed horizon so every
+// trial performs identical work. Used to measure the parallel engine's
+// throughput against the sequential baseline.
+func harnessCampaign(b *testing.B, workers int) synchcount.Campaign {
+	b.Helper()
+	plan := synchcount.Plan{Levels: []synchcount.PlanLevel{{K: 4, F: 1}, {K: 3, F: 3}}, C: 8}
+	cnt, _, _, err := synchcount.FromPlan(plan)
+	if err != nil {
+		b.Fatal(err)
+	}
+	init, err := synchcount.WorstInit(cnt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := synchcount.SimConfig{
+		Alg:       cnt,
+		Faulty:    []int{0, 1, 2},
+		Adv:       synchcount.Saboteur(cnt),
+		Init:      init,
+		Seed:      2,
+		MaxRounds: 1500,
+		Window:    128,
+		StopEarly: false, // fixed horizon: every trial costs the same
+	}
+	return synchcount.Campaign{
+		Name:    "bench",
+		Seed:    2,
+		Workers: workers,
+		Scenarios: []synchcount.Scenario{
+			synchcount.SimScenario("A(12,3)-saboteur", cfg, 8),
+		},
+	}
+}
+
+func runHarnessBench(b *testing.B, workers int) {
+	b.Helper()
+	campaign := harnessCampaign(b, workers)
+	var trials int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := synchcount.RunCampaign(context.Background(), campaign)
+		if err != nil {
+			b.Fatal(err)
+		}
+		st := res.Scenarios[0].Stats
+		if st.Stabilised != st.Trials {
+			b.Fatalf("only %d/%d trials stabilised", st.Stabilised, st.Trials)
+		}
+		trials = st.Trials
+	}
+	b.ReportMetric(float64(trials), "trials/op")
+}
+
+// BenchmarkHarness_Sequential is the single-worker baseline: the
+// campaign engine degenerates to the historical sequential trial loop.
+func BenchmarkHarness_Sequential(b *testing.B) { runHarnessBench(b, 1) }
+
+// BenchmarkHarness_Parallel runs the identical campaign over a
+// GOMAXPROCS-sized worker pool. Results are byte-identical to the
+// sequential run; on a 4-core runner throughput is expected to be >= 2x
+// the sequential baseline (ns/op correspondingly lower).
+func BenchmarkHarness_Parallel(b *testing.B) { runHarnessBench(b, 0) }
 
 // --- engineering microbenchmarks ---------------------------------------
 

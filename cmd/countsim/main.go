@@ -1,14 +1,17 @@
-// Command countsim runs a single synchronous-counting simulation and
-// reports the measured stabilisation time against the analytical bound.
+// Command countsim runs synchronous-counting simulations and reports
+// measured stabilisation times against the analytical bound. Multi-trial
+// runs execute as a parallel campaign on the experiment harness.
 //
 // Examples:
 //
 //	countsim -alg optimal -f 1 -c 10 -faults 2 -adversary splitvote
 //	countsim -alg figure2 -c 10 -faults 4,5,6,7,13,22,31 -adversary saboteur -worstinit
 //	countsim -alg randagree -n 6 -f 1 -faults 0 -trials 20
+//	countsim -alg optimal -faults 0 -adversary greedy -trials 100 -json results.json
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -35,11 +38,14 @@ func run() error {
 		c         = flag.Int("c", 10, "counter modulus")
 		faultsStr = flag.String("faults", "", "comma-separated Byzantine node indices")
 		advName   = flag.String("adversary", "splitvote", "adversary: "+strings.Join(synchcount.Adversaries(), " | ")+" | saboteur | greedy")
-		seed      = flag.Int64("seed", 1, "random seed")
+		seed      = flag.Int64("seed", 1, "campaign base seed (per-trial seeds are derived deterministically)")
 		rounds    = flag.Uint64("rounds", 0, "max rounds (default: bound + 512)")
 		window    = flag.Uint64("window", 128, "confirmation window")
 		worstInit = flag.Bool("worstinit", false, "start from the adversarially crafted initial configuration")
 		trials    = flag.Int("trials", 1, "number of independent runs (aggregated)")
+		workers   = flag.Int("workers", 0, "concurrent trials (0 = GOMAXPROCS)")
+		jsonPath  = flag.String("json", "", "write the campaign result as JSON to this file")
+		csvPath   = flag.String("csv", "", "write per-trial results as CSV to this file")
 	)
 	flag.Parse()
 
@@ -48,63 +54,74 @@ func run() error {
 		return err
 	}
 
-	cfg := synchcount.SimConfig{
-		Alg:    a,
-		Seed:   *seed,
-		Window: *window,
-	}
+	var faulty []int
 	if *faultsStr != "" {
 		for _, tok := range strings.Split(*faultsStr, ",") {
 			id, err := strconv.Atoi(strings.TrimSpace(tok))
 			if err != nil {
 				return fmt.Errorf("bad fault id %q: %w", tok, err)
 			}
-			cfg.Faulty = append(cfg.Faulty, id)
+			faulty = append(faulty, id)
 		}
-	}
-	switch {
-	case *advName == "saboteur":
-		if cnt == nil {
-			return fmt.Errorf("the saboteur needs a boosted counter (alg optimal|scalable|figure2)")
-		}
-		cfg.Adv = synchcount.Saboteur(cnt)
-	case *advName == "greedy":
-		if cnt == nil {
-			return fmt.Errorf("the greedy attacker needs a boosted counter (alg optimal|scalable|figure2)")
-		}
-		adv, err := synchcount.Greedy(cnt, synchcount.Saboteur(cnt), 8)
-		if err != nil {
-			return err
-		}
-		cfg.Adv = adv
-	default:
-		adv, err := synchcount.AdversaryByName(*advName)
-		if err != nil {
-			return err
-		}
-		cfg.Adv = adv
-	}
-	if *worstInit {
-		if cnt == nil {
-			return fmt.Errorf("-worstinit needs a boosted counter (alg optimal|scalable|figure2)")
-		}
-		init, err := synchcount.WorstInit(cnt)
-		if err != nil {
-			return err
-		}
-		cfg.Init = init
 	}
 
 	var bound uint64
 	if b, err := synchcount.StabilisationBound(a); err == nil {
 		bound = b
 	}
-	cfg.MaxRounds = *rounds
-	if cfg.MaxRounds == 0 {
-		cfg.MaxRounds = bound + 512
+	maxRounds := *rounds
+	if maxRounds == 0 {
+		maxRounds = bound + 512
 		if bound == 0 {
-			cfg.MaxRounds = 1 << 20 // randomised baselines: generous default
+			maxRounds = 1 << 20 // randomised baselines: generous default
 		}
+	}
+
+	// The config is built freshly per trial: the greedy adversary keeps
+	// per-round lookahead state and must not be shared across the
+	// campaign's concurrent workers.
+	buildConfig := func(int) (synchcount.SimConfig, error) {
+		cfg := synchcount.SimConfig{
+			Alg:       a,
+			Faulty:    faulty,
+			Seed:      *seed,
+			MaxRounds: maxRounds,
+			Window:    *window,
+			StopEarly: true,
+		}
+		switch {
+		case *advName == "saboteur":
+			if cnt == nil {
+				return cfg, fmt.Errorf("the saboteur needs a boosted counter (alg optimal|scalable|figure2)")
+			}
+			cfg.Adv = synchcount.Saboteur(cnt)
+		case *advName == "greedy":
+			if cnt == nil {
+				return cfg, fmt.Errorf("the greedy attacker needs a boosted counter (alg optimal|scalable|figure2)")
+			}
+			adv, err := synchcount.Greedy(cnt, synchcount.Saboteur(cnt), 8)
+			if err != nil {
+				return cfg, err
+			}
+			cfg.Adv = adv
+		default:
+			adv, err := synchcount.AdversaryByName(*advName)
+			if err != nil {
+				return cfg, err
+			}
+			cfg.Adv = adv
+		}
+		if *worstInit {
+			if cnt == nil {
+				return cfg, fmt.Errorf("-worstinit needs a boosted counter (alg optimal|scalable|figure2)")
+			}
+			init, err := synchcount.WorstInit(cnt)
+			if err != nil {
+				return cfg, err
+			}
+			cfg.Init = init
+		}
+		return cfg, nil
 	}
 
 	fmt.Printf("algorithm   : %s (n=%d f=%d c=%d, %d state bits, deterministic=%v)\n",
@@ -112,28 +129,58 @@ func run() error {
 	if bound > 0 {
 		fmt.Printf("bound       : T <= %d rounds (Theorem 1 accounting)\n", bound)
 	}
-	fmt.Printf("faults      : %v under %q adversary\n", cfg.Faulty, *advName)
+	fmt.Printf("faults      : %v under %q adversary\n", faulty, *advName)
 
-	if *trials <= 1 {
-		res, err := synchcount.Simulate(cfg)
-		if err != nil {
-			return err
-		}
-		if !res.Stabilised {
-			fmt.Printf("result      : DID NOT STABILISE within %d rounds\n", res.RoundsRun)
-			return nil
-		}
-		fmt.Printf("result      : stabilised at round %d (ran %d rounds, window %d)\n",
-			res.StabilisationTime, res.RoundsRun, *window)
-		fmt.Printf("bits/round  : %d across the network\n", res.BitsPerRound)
-		return nil
+	// Single trials and full campaigns share one code path, so the same
+	// flags always measure the same runs whether or not an export flag
+	// is present.
+	trialCount := *trials
+	if trialCount < 1 {
+		trialCount = 1
 	}
-	st, err := synchcount.SimulateMany(cfg, *trials)
+	scenario := synchcount.SimScenarioFunc(*algName, trialCount, buildConfig)
+	scenario.Seed = seed
+	result, err := synchcount.RunCampaign(context.Background(), synchcount.Campaign{
+		Name:      "countsim",
+		Seed:      *seed,
+		Workers:   *workers,
+		Scenarios: []synchcount.Scenario{scenario},
+	})
 	if err != nil {
 		return err
 	}
-	fmt.Printf("result      : %d/%d stabilised; T min/mean/max = %d / %.1f / %d\n",
-		st.Stabilised, st.Trials, st.MinTime, st.MeanTime, st.MaxTime)
+	if trialCount == 1 {
+		tr := result.Scenarios[0].Trials[0]
+		if !tr.Stabilised {
+			fmt.Printf("result      : DID NOT STABILISE within %d rounds\n", tr.RoundsRun)
+		} else {
+			fmt.Printf("result      : stabilised at round %d (ran %d rounds, window %d)\n",
+				tr.StabilisationTime, tr.RoundsRun, *window)
+			fmt.Printf("bits/round  : %d across the network\n", tr.BitsPerRound)
+		}
+	} else {
+		st := result.Scenarios[0].Stats
+		fmt.Printf("result      : %d/%d stabilised\n", st.Stabilised, st.Trials)
+		if st.Stabilised > 0 {
+			fmt.Printf("T rounds    : min %d / mean %.1f / median %.1f / p95 %.1f / p99 %.1f / max %d\n",
+				st.MinTime, st.MeanTime, st.MedianTime, st.P95Time, st.P99Time, st.MaxTime)
+		}
+		if st.Violations > 0 {
+			fmt.Printf("violations  : %d post-stabilisation rounds broke counting\n", st.Violations)
+		}
+	}
+	if *jsonPath != "" {
+		if err := result.WriteJSONFile(*jsonPath); err != nil {
+			return err
+		}
+		fmt.Printf("json        : wrote %s\n", *jsonPath)
+	}
+	if *csvPath != "" {
+		if err := result.WriteCSVFile(*csvPath); err != nil {
+			return err
+		}
+		fmt.Printf("csv         : wrote %s\n", *csvPath)
+	}
 	return nil
 }
 

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -50,7 +51,9 @@ func run() error {
 	}
 
 	// Stagger the block counters adversarially and record each block's
-	// decoded leader pointer per round.
+	// decoded leader pointer per round. The trace runs as a one-trial
+	// campaign scenario: the OnRound sink is per-run mutable state, so
+	// the config is built inside the trial function.
 	init, err := synchcount.WorstInit(cnt)
 	if err != nil {
 		return err
@@ -60,19 +63,26 @@ func run() error {
 	for i := range timelines {
 		timelines[i] = make([]uint64, 0, *width)
 	}
-	_, err = synchcount.SimulateFull(synchcount.SimConfig{
-		Alg:       cnt,
-		Init:      init,
-		Seed:      1,
-		MaxRounds: rounds,
-		OnRound: func(round uint64, states []synchcount.State, _ []int) {
-			if round < *offset {
-				return
-			}
-			for u, st := range states {
-				_, _, ptr := cnt.Leader(u, st)
-				timelines[u] = append(timelines[u], ptr)
-			}
+	_, err = synchcount.RunCampaign(context.Background(), synchcount.Campaign{
+		Name: "fig1",
+		Seed: 1,
+		Scenarios: []synchcount.Scenario{
+			synchcount.SimScenarioFunc("leader-pointers", 1, func(int) (synchcount.SimConfig, error) {
+				return synchcount.SimConfig{
+					Alg:       cnt,
+					Init:      init,
+					MaxRounds: rounds,
+					OnRound: func(round uint64, states []synchcount.State, _ []int) {
+						if round < *offset {
+							return
+						}
+						for u, st := range states {
+							_, _, ptr := cnt.Leader(u, st)
+							timelines[u] = append(timelines[u], ptr)
+						}
+					},
+				}, nil
+			}),
 		},
 	})
 	if err != nil {

@@ -5,10 +5,13 @@
 //
 // It sweeps the sample size M, reporting pulls/round, bits/round,
 // stabilisation rate, and post-stabilisation violations (the empirical
-// failure probability of Corollary 4).
+// failure probability of Corollary 4). The whole sweep — every M row
+// and every trial — runs as one parallel campaign on the experiment
+// harness.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -25,10 +28,13 @@ func main() {
 
 func run() error {
 	var (
-		trials = flag.Int("trials", 5, "runs per configuration")
-		seed   = flag.Int64("seed", 1, "base seed")
-		pseudo = flag.Bool("pseudo", false, "use fixed wiring (Corollary 5) instead of fresh samples")
-		horiz  = flag.Uint64("horizon", 0, "rounds per run (default bound + 2000)")
+		trials   = flag.Int("trials", 5, "runs per configuration")
+		seed     = flag.Int64("seed", 1, "base seed")
+		pseudo   = flag.Bool("pseudo", false, "use fixed wiring (Corollary 5) instead of fresh samples")
+		horiz    = flag.Uint64("horizon", 0, "rounds per run (default bound + 2000)")
+		workers  = flag.Int("workers", 0, "concurrent trials (0 = GOMAXPROCS)")
+		csvPath  = flag.String("csv", "", "write per-trial results as CSV to this file")
+		jsonPath = flag.String("json", "", "write the campaign result as JSON to this file")
 	)
 	flag.Parse()
 
@@ -49,6 +55,39 @@ func run() error {
 		horizon = stats.TimeBound + 2000
 	}
 
+	pullCfg := func(a synchcount.PullAlgorithm) synchcount.PullConfig {
+		return synchcount.PullConfig{
+			Alg:       a,
+			Faulty:    faulty,
+			Adv:       synchcount.MustAdversary("equivocate"),
+			Seed:      *seed,
+			MaxRounds: horizon,
+			Window:    128,
+		}
+	}
+
+	sampleSizes := []int{6, 12, 24, 48}
+	campaign := synchcount.Campaign{
+		Name:    "pullbench",
+		Seed:    *seed,
+		Workers: *workers,
+		Scenarios: []synchcount.Scenario{
+			synchcount.PullScenario("full", pullCfg(synchcount.PullBroadcast(top)), *trials),
+		},
+	}
+	for _, m := range sampleSizes {
+		s, err := synchcount.Sampled(top, m, *pseudo, *seed*1000+int64(m))
+		if err != nil {
+			return err
+		}
+		campaign.Scenarios = append(campaign.Scenarios,
+			synchcount.PullScenario(fmt.Sprintf("M=%d", m), pullCfg(s), *trials))
+	}
+	result, err := synchcount.RunCampaign(context.Background(), campaign)
+	if err != nil {
+		return err
+	}
+
 	mode := "fresh samples each round (Theorem 4)"
 	if *pseudo {
 		mode = "fixed wiring (Corollary 5, oblivious adversary)"
@@ -59,27 +98,25 @@ func run() error {
 	fmt.Printf("%-10s %-14s %-12s %-14s %-16s %-14s\n",
 		"M", "pulls/round", "bits/round", "stabilised", "mean T", "violations")
 
-	// The deterministic reference row.
-	bres, err := runTrials(synchcount.PullBroadcast(top), faulty, *trials, *seed, horizon)
-	if err != nil {
+	printRow := func(name, label string) error {
+		sc := result.Scenario(name)
+		if sc == nil {
+			return fmt.Errorf("missing campaign scenario %q", name)
+		}
+		st := sc.Stats
+		fmt.Printf("%-10s %-14d %-12d %-14s %-16.0f %-14d\n",
+			label, st.MaxPulls, st.BitsPerRound,
+			fmt.Sprintf("%d/%d", st.Stabilised, st.Trials), st.MeanTime, st.Violations)
+		return nil
+	}
+	if err := printRow("full", "full"); err != nil {
 		return err
 	}
-	fmt.Printf("%-10s %-14d %-12d %-14s %-16.0f %-14d\n",
-		"full", bres.maxPulls, bres.maxBits,
-		fmt.Sprintf("%d/%d", bres.stabilised, *trials), bres.meanT, bres.violations)
-
-	for _, m := range []int{6, 12, 24, 48} {
-		s, err := synchcount.Sampled(top, m, *pseudo, *seed*1000+int64(m))
-		if err != nil {
+	for _, m := range sampleSizes {
+		name := fmt.Sprintf("M=%d", m)
+		if err := printRow(name, fmt.Sprint(m)); err != nil {
 			return err
 		}
-		r, err := runTrials(s, faulty, *trials, *seed, horizon)
-		if err != nil {
-			return err
-		}
-		fmt.Printf("%-10d %-14d %-12d %-14s %-16.0f %-14d\n",
-			m, r.maxPulls, r.maxBits,
-			fmt.Sprintf("%d/%d", r.stabilised, *trials), r.meanT, r.violations)
 	}
 
 	fmt.Println()
@@ -100,46 +137,18 @@ func run() error {
 	}
 	fmt.Println("(top-level sampling wins once N >> (k+1)M; the paper's full O(k·M·levels)")
 	fmt.Println("budget additionally samples inside blocks at every recursion level)")
+
+	if *jsonPath != "" {
+		if err := result.WriteJSONFile(*jsonPath); err != nil {
+			return err
+		}
+		fmt.Printf("\njson: wrote %s\n", *jsonPath)
+	}
+	if *csvPath != "" {
+		if err := result.WriteCSVFile(*csvPath); err != nil {
+			return err
+		}
+		fmt.Printf("\ncsv: wrote %s\n", *csvPath)
+	}
 	return nil
-}
-
-type trialStats struct {
-	stabilised int
-	meanT      float64
-	maxPulls   uint64
-	maxBits    uint64
-	violations uint64
-}
-
-func runTrials(a synchcount.PullAlgorithm, faulty []int, trials int, seed int64, horizon uint64) (trialStats, error) {
-	var st trialStats
-	var sum float64
-	for i := 0; i < trials; i++ {
-		res, err := synchcount.SimulatePullFull(synchcount.PullConfig{
-			Alg:       a,
-			Faulty:    faulty,
-			Adv:       synchcount.MustAdversary("equivocate"),
-			Seed:      seed + int64(i)*7919,
-			MaxRounds: horizon,
-			Window:    128,
-		})
-		if err != nil {
-			return st, err
-		}
-		if res.Stabilised {
-			st.stabilised++
-			sum += float64(res.StabilisationTime)
-		}
-		st.violations += res.Violations
-		if res.MaxPulls > st.maxPulls {
-			st.maxPulls = res.MaxPulls
-		}
-		if res.MaxBits > st.maxBits {
-			st.maxBits = res.MaxBits
-		}
-	}
-	if st.stabilised > 0 {
-		st.meanT = sum / float64(st.stabilised)
-	}
-	return st, nil
 }

@@ -10,9 +10,13 @@
 // the exact model-checked result that the anonymous single-bit class
 // contains no 1-resilient counters — the reason the "computer designed"
 // rows need richer algorithm classes.
+//
+// All measured rows run as one campaign on the experiment harness, so
+// the table fills in parallel across rows and trials.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -27,35 +31,105 @@ func main() {
 	}
 }
 
+// measuredRow is one measured table row: the campaign scenario plus the
+// static columns printed next to the campaign statistics.
+type measuredRow struct {
+	scenario  synchcount.Scenario
+	label     string
+	resil     string
+	stateBits int
+	det       string
+	suffix    func(st synchcount.CampaignStats) string
+}
+
 func run() error {
 	var (
 		trials  = flag.Int("trials", 10, "simulation trials per measured row")
 		seed    = flag.Int64("seed", 1, "base seed")
+		workers = flag.Int("workers", 0, "concurrent trials (0 = GOMAXPROCS)")
 		scaling = flag.Bool("scaling", false, "also print the Theorem 2 resilience-scaling series (E6)")
 	)
 	flag.Parse()
+
+	randomRows := []struct {
+		label  string
+		n, f   int
+		biased bool
+	}{
+		{"randomised [6,7] (n=4,f=1)", 4, 1, false},
+		{"randomised [6,7] (n=7,f=2)", 7, 2, false},
+		{"randomised [6,7] (n=10,f=3)", 10, 3, false},
+		{"randomised [6,7] (n=13,f=4)", 13, 4, false},
+		{"randomised ~[5] biased (n=7,f=2)", 7, 2, true},
+	}
+	var rows []measuredRow
+	for _, r := range randomRows {
+		row, err := randomRow(*trials, *seed, r.label, r.n, r.f, r.biased)
+		if err != nil {
+			return err
+		}
+		rows = append(rows, row)
+	}
+	optRow, err := optimalRow(*trials, *seed)
+	if err != nil {
+		return err
+	}
+	rows = append(rows, optRow)
+	for _, levels := range []struct {
+		label string
+		depth int
+	}{
+		{"this work A(4,1)", 1},
+		{"this work A(12,3)", 2},
+		{"this work A(36,7) fig.2", 3},
+	} {
+		row, err := boostedRow(*trials, *seed, levels.label, levels.depth)
+		if err != nil {
+			return err
+		}
+		rows = append(rows, row)
+	}
+
+	campaign := synchcount.Campaign{
+		Name:    "table1",
+		Seed:    *seed,
+		Workers: *workers,
+	}
+	for _, r := range rows {
+		campaign.Scenarios = append(campaign.Scenarios, r.scenario)
+	}
+	result, err := synchcount.RunCampaign(context.Background(), campaign)
+	if err != nil {
+		return err
+	}
+	printRow := func(label string) error {
+		for _, r := range rows {
+			if r.label != label {
+				continue
+			}
+			sc := result.Scenario(r.scenario.Name)
+			if sc == nil {
+				return fmt.Errorf("missing campaign scenario %q", r.scenario.Name)
+			}
+			st := sc.Stats
+			fmt.Printf("%-34s %-12s %-22s %-12d %-6s  %s\n",
+				r.label, r.resil,
+				fmt.Sprintf("mean %.0f max %d", st.MeanTime, st.MaxTime),
+				r.stateBits, r.det, r.suffix(st))
+			return nil
+		}
+		return fmt.Errorf("unknown measured row %q", label)
+	}
 
 	fmt.Println("Table 1 — synchronous 2-counting algorithms: paper vs measured")
 	fmt.Println()
 	fmt.Printf("%-34s %-12s %-22s %-12s %-6s\n", "algorithm", "resilience", "stabilisation time", "state bits", "det.")
 	fmt.Printf("%-34s %-12s %-22s %-12s %-6s\n", "---------", "----------", "------------------", "----------", "----")
 
-	// Row: randomised [6,7] — measured.
-	if err := measuredRandom(*trials, *seed, "randomised [6,7] (n=4,f=1)", 4, 1, false); err != nil {
-		return err
-	}
-	if err := measuredRandom(*trials, *seed, "randomised [6,7] (n=7,f=2)", 7, 2, false); err != nil {
-		return err
-	}
-	if err := measuredRandom(*trials, *seed, "randomised [6,7] (n=10,f=3)", 10, 3, false); err != nil {
-		return err
-	}
-	if err := measuredRandom(*trials, *seed, "randomised [6,7] (n=13,f=4)", 13, 4, false); err != nil {
-		return err
-	}
-	// Row: randomised [5]-style biased — measured.
-	if err := measuredRandom(*trials, *seed, "randomised ~[5] biased (n=7,f=2)", 7, 2, true); err != nil {
-		return err
+	for _, r := range randomRows {
+		if err := printRow(r.label); err != nil {
+			return err
+		}
 	}
 
 	// Rows: computer-designed [5] — paper values; plus our exact negative
@@ -84,20 +158,13 @@ func run() error {
 	fmt.Printf("%-34s %-12s %-22s %-12s %-6s  (paper value; not reimplemented)\n",
 		"consensus stack [2]", "f<n/3", "O(f)", "O(f log f)", "yes")
 
-	// Row: Corollary 1 (optimal resilience, this paper) — measured.
-	if err := measuredOptimal(*trials, *seed); err != nil {
+	if err := printRow("Corollary 1 (n=4,f=1)"); err != nil {
 		return err
 	}
-
-	// Rows: this work (Theorem 2 stacks) — measured at two scales.
-	if err := measuredBoosted(*trials, *seed, "this work A(4,1)", 1); err != nil {
-		return err
-	}
-	if err := measuredBoosted(*trials, *seed, "this work A(12,3)", 2); err != nil {
-		return err
-	}
-	if err := measuredBoosted(*trials, *seed, "this work A(36,7) fig.2", 3); err != nil {
-		return err
+	for _, label := range []string{"this work A(4,1)", "this work A(12,3)", "this work A(36,7) fig.2"} {
+		if err := printRow(label); err != nil {
+			return err
+		}
 	}
 
 	if *scaling {
@@ -109,7 +176,7 @@ func run() error {
 	return nil
 }
 
-func measuredRandom(trials int, seed int64, label string, n, f int, biased bool) error {
+func randomRow(trials int, seed int64, label string, n, f int, biased bool) (measuredRow, error) {
 	var a synchcount.Algorithm
 	var err error
 	if biased {
@@ -118,40 +185,43 @@ func measuredRandom(trials int, seed int64, label string, n, f int, biased bool)
 		a, err = synchcount.RandomizedAgree(n, f)
 	}
 	if err != nil {
-		return err
+		return measuredRow{}, err
 	}
 	faults := make([]int, f)
 	for i := range faults {
 		faults[i] = (i*3 + 1) % n
 	}
-	st, err := synchcount.SimulateMany(synchcount.SimConfig{
+	cfg := synchcount.SimConfig{
 		Alg:       a,
 		Faulty:    faults,
 		Adv:       synchcount.MustAdversary("splitvote"),
 		Seed:      seed,
 		MaxRounds: 1 << 21,
-	}, trials)
-	if err != nil {
-		return err
+		StopEarly: true,
 	}
-	fmt.Printf("%-34s %-12s %-22s %-12d %-6s  (measured, %d/%d trials)\n",
-		label, fmt.Sprintf("f=%d", f),
-		fmt.Sprintf("mean %.0f max %d", st.MeanTime, st.MaxTime),
-		synchcount.StateBits(a), "no", st.Stabilised, st.Trials)
-	return nil
+	return measuredRow{
+		scenario:  synchcount.SimScenario(label, cfg, trials),
+		label:     label,
+		resil:     fmt.Sprintf("f=%d", f),
+		stateBits: synchcount.StateBits(a),
+		det:       "no",
+		suffix: func(st synchcount.CampaignStats) string {
+			return fmt.Sprintf("(measured, %d/%d trials)", st.Stabilised, st.Trials)
+		},
+	}, nil
 }
 
-func measuredOptimal(trials int, seed int64) error {
+func optimalRow(trials int, seed int64) (measuredRow, error) {
 	cnt, err := synchcount.OptimalResilience(1, 2)
 	if err != nil {
-		return err
+		return measuredRow{}, err
 	}
 	bound, _ := synchcount.StabilisationBound(cnt)
 	init, err := synchcount.WorstInit(cnt)
 	if err != nil {
-		return err
+		return measuredRow{}, err
 	}
-	st, err := synchcount.SimulateMany(synchcount.SimConfig{
+	cfg := synchcount.SimConfig{
 		Alg:       cnt,
 		Faulty:    []int{0},
 		Adv:       synchcount.Saboteur(cnt),
@@ -159,23 +229,26 @@ func measuredOptimal(trials int, seed int64) error {
 		Seed:      seed,
 		MaxRounds: bound + 512,
 		Window:    128,
-	}, trials)
-	if err != nil {
-		return err
+		StopEarly: true,
 	}
-	fmt.Printf("%-34s %-12s %-22s %-12d %-6s  (measured vs bound %d; saboteur+worst init)\n",
-		"Corollary 1 (n=4,f=1)", "f<n/3",
-		fmt.Sprintf("mean %.0f max %d", st.MeanTime, st.MaxTime),
-		synchcount.StateBits(cnt), "yes", bound)
-	return nil
+	return measuredRow{
+		scenario:  synchcount.SimScenario("Corollary 1 (n=4,f=1)", cfg, trials),
+		label:     "Corollary 1 (n=4,f=1)",
+		resil:     "f<n/3",
+		stateBits: synchcount.StateBits(cnt),
+		det:       "yes",
+		suffix: func(synchcount.CampaignStats) string {
+			return fmt.Sprintf("(measured vs bound %d; saboteur+worst init)", bound)
+		},
+	}, nil
 }
 
-func measuredBoosted(trials int, seed int64, label string, levels int) error {
+func boostedRow(trials int, seed int64, label string, levels int) (measuredRow, error) {
 	stack := []synchcount.PlanLevel{{K: 4, F: 1}, {K: 3, F: 3}, {K: 3, F: 7}}
 	plan := synchcount.Plan{Levels: stack[:levels], C: 2}
 	cnt, _, stats, err := synchcount.FromPlan(plan)
 	if err != nil {
-		return err
+		return measuredRow{}, err
 	}
 	// Concentrate the fault budget on the first nodes: this breaks the
 	// top level's leader-candidate block 0 (and occupies the low king
@@ -187,9 +260,9 @@ func measuredBoosted(trials int, seed int64, label string, levels int) error {
 	}
 	init, err := synchcount.WorstInit(cnt)
 	if err != nil {
-		return err
+		return measuredRow{}, err
 	}
-	st, err := synchcount.SimulateMany(synchcount.SimConfig{
+	cfg := synchcount.SimConfig{
 		Alg:       cnt,
 		Faulty:    faults,
 		Adv:       synchcount.Saboteur(cnt),
@@ -197,15 +270,18 @@ func measuredBoosted(trials int, seed int64, label string, levels int) error {
 		Seed:      seed,
 		MaxRounds: stats.TimeBound + 1024,
 		Window:    128,
-	}, trials)
-	if err != nil {
-		return err
+		StopEarly: true,
 	}
-	fmt.Printf("%-34s %-12s %-22s %-12d %-6s  (measured vs bound %d; N=%d)\n",
-		label, fmt.Sprintf("f=%d", cnt.F()),
-		fmt.Sprintf("mean %.0f max %d", st.MeanTime, st.MaxTime),
-		synchcount.StateBits(cnt), "yes", stats.TimeBound, cnt.N())
-	return nil
+	return measuredRow{
+		scenario:  synchcount.SimScenario(label, cfg, trials),
+		label:     label,
+		resil:     fmt.Sprintf("f=%d", cnt.F()),
+		stateBits: synchcount.StateBits(cnt),
+		det:       "yes",
+		suffix: func(synchcount.CampaignStats) string {
+			return fmt.Sprintf("(measured vs bound %d; N=%d)", stats.TimeBound, cnt.N())
+		},
+	}, nil
 }
 
 // printScaling prints the E6 series: resilience, time bound and state

@@ -1,0 +1,3 @@
+module github.com/synchcount/synchcount
+
+go 1.22

@@ -1,0 +1,83 @@
+package harness
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"io"
+	"os"
+	"strconv"
+)
+
+// WriteJSON renders the campaign result as indented JSON. The encoding
+// is fully deterministic (struct-ordered fields, trials in index
+// order), so results from different worker counts compare byte for
+// byte.
+func (r *Result) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// WriteJSONFile writes the JSON export to path, creating or truncating
+// the file.
+func (r *Result) WriteJSONFile(path string) error {
+	return writeFile(path, r.WriteJSON)
+}
+
+// WriteCSVFile writes the CSV export to path, creating or truncating
+// the file.
+func (r *Result) WriteCSVFile(path string) error {
+	return writeFile(path, r.WriteCSV)
+}
+
+func writeFile(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// csvHeader is the flat per-trial export schema.
+var csvHeader = []string{
+	"campaign", "scenario", "trial", "seed",
+	"stabilised", "stabilisation_time", "rounds_run", "violations",
+	"messages_per_round", "bits_per_round", "max_pulls", "mean_pulls",
+}
+
+// WriteCSV renders one row per trial, flat enough for spreadsheet and
+// dataframe ingestion. Like WriteJSON it is deterministic in the
+// campaign definition and seed.
+func (r *Result) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return err
+	}
+	for _, sc := range r.Scenarios {
+		for _, tr := range sc.Trials {
+			row := []string{
+				r.Campaign,
+				sc.Name,
+				strconv.Itoa(tr.Trial),
+				strconv.FormatInt(tr.Seed, 10),
+				strconv.FormatBool(tr.Stabilised),
+				strconv.FormatUint(tr.StabilisationTime, 10),
+				strconv.FormatUint(tr.RoundsRun, 10),
+				strconv.FormatUint(tr.Violations, 10),
+				strconv.FormatUint(tr.MessagesPerRound, 10),
+				strconv.FormatUint(tr.BitsPerRound, 10),
+				strconv.FormatUint(tr.MaxPulls, 10),
+				strconv.FormatFloat(tr.MeanPulls, 'g', -1, 64),
+			}
+			if err := cw.Write(row); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,288 @@
+// Package harness is the parallel experiment engine behind every trial
+// campaign in this repository.
+//
+// A Campaign is a grid of Scenarios — typically one per (algorithm
+// constructor × n × f × adversary) cell — each running a number of
+// independent trials. The engine fans all trials of all scenarios out
+// over a worker pool, derives per-trial seeds deterministically (the
+// same campaign seed yields byte-identical results at any worker
+// count), honours context cancellation mid-campaign, and aggregates
+// per-scenario statistics including median/p95/p99 stabilisation times.
+//
+// The package is deliberately model-agnostic: a Scenario is just a
+// TrialFunc returning an Observation, so the broadcast simulator
+// (internal/sim), the pulling-model simulator (internal/pull) and any
+// future workload can all ride the same engine. Those packages provide
+// CampaignScenario adaptors; this package depends only on the standard
+// library.
+package harness
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+)
+
+// Observation is what a single trial measures. Fields that do not apply
+// to a given model are left zero (e.g. MaxPulls for broadcast runs).
+type Observation struct {
+	// Stabilised reports whether the run confirmed a correct-counting
+	// streak of window length.
+	Stabilised bool `json:"stabilised"`
+	// StabilisationTime is the first round of the confirmed streak.
+	// Only meaningful when Stabilised.
+	StabilisationTime uint64 `json:"stabilisation_time"`
+	// RoundsRun is the number of rounds actually simulated.
+	RoundsRun uint64 `json:"rounds_run"`
+	// Violations counts post-stabilisation correctness violations.
+	Violations uint64 `json:"violations"`
+	// MessagesPerRound is the broadcast-model network message load.
+	MessagesPerRound uint64 `json:"messages_per_round"`
+	// BitsPerRound is the per-round bit complexity (broadcast: network
+	// total; pulling: max per-node pulled bits).
+	BitsPerRound uint64 `json:"bits_per_round"`
+	// MaxPulls is the pulling-model per-node message complexity.
+	MaxPulls uint64 `json:"max_pulls"`
+	// MeanPulls is the pulling-model mean per-node pull count.
+	MeanPulls float64 `json:"mean_pulls"`
+}
+
+// TrialFunc executes one trial. It receives the trial index within its
+// scenario and the engine-derived seed; long-running implementations
+// should observe ctx and abort promptly when it is cancelled (the
+// simulator adaptors poll ctx once per simulated round).
+type TrialFunc func(ctx context.Context, trial int, seed int64) (Observation, error)
+
+// Scenario is one cell of a campaign grid.
+type Scenario struct {
+	// Name identifies the scenario in results and exports. Names must be
+	// unique within a campaign.
+	Name string
+	// Trials is the number of independent trials to run. Must be
+	// positive.
+	Trials int
+	// Seed optionally pins the scenario's base seed. When nil the base
+	// seed is derived from the campaign seed and the scenario index, so
+	// distinct scenarios draw distinct trial-seed streams.
+	Seed *int64
+	// Run executes one trial. It must be safe for concurrent invocation:
+	// anything shared across trials (algorithm instances, adversaries,
+	// initial-state slices) must be read-only, and stateful components
+	// such as the greedy lookahead adversary must be constructed freshly
+	// inside Run.
+	Run TrialFunc
+}
+
+// Campaign is a grid of scenarios executed as one parallel batch.
+type Campaign struct {
+	// Name labels the campaign in exports.
+	Name string
+	// Seed is the campaign master seed. Every trial seed is derived from
+	// it deterministically; rerunning the same campaign with the same
+	// seed reproduces every trial exactly, at any worker count.
+	Seed int64
+	// Workers bounds the number of concurrent trials. Zero means
+	// runtime.GOMAXPROCS(0); one reproduces the historical sequential
+	// behaviour.
+	Workers int
+	// Scenarios is the grid.
+	Scenarios []Scenario
+}
+
+// Trial is one trial's record in a campaign result.
+type Trial struct {
+	// Trial is the trial index within the scenario.
+	Trial int `json:"trial"`
+	// Seed is the derived seed the trial ran with.
+	Seed int64 `json:"seed"`
+	Observation
+}
+
+// ScenarioResult is one scenario's aggregated outcome.
+type ScenarioResult struct {
+	// Name echoes the scenario name.
+	Name string `json:"name"`
+	// Seed is the scenario base seed the trial seeds were drawn from.
+	Seed int64 `json:"seed"`
+	// Stats aggregates the trials.
+	Stats Stats `json:"stats"`
+	// Trials lists every trial in index order.
+	Trials []Trial `json:"trials"`
+}
+
+// Result is a completed campaign. It deliberately records nothing
+// about the execution environment (worker count, timings): a campaign
+// result — and its JSON/CSV export — is a pure function of the campaign
+// definition and seed, byte-identical at any worker count.
+type Result struct {
+	// Campaign echoes the campaign name.
+	Campaign string `json:"campaign"`
+	// Seed echoes the campaign master seed.
+	Seed int64 `json:"seed"`
+	// Scenarios holds per-scenario results in campaign order.
+	Scenarios []ScenarioResult `json:"scenarios"`
+}
+
+// Scenario returns the named scenario result, or nil when absent.
+func (r *Result) Scenario(name string) *ScenarioResult {
+	for i := range r.Scenarios {
+		if r.Scenarios[i].Name == name {
+			return &r.Scenarios[i]
+		}
+	}
+	return nil
+}
+
+// scenarioSeed derives the base seed of scenario i from the campaign
+// seed via SplitMix64 — a bijective mixer, so distinct scenario indices
+// can never collapse onto one trial-seed stream.
+func scenarioSeed(campaignSeed int64, i int) int64 {
+	z := uint64(campaignSeed) + uint64(i+1)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return int64(z >> 1) // keep seeds non-negative like rand.Int63
+}
+
+// trialSeeds derives the per-trial seeds of a scenario: sequential
+// draws from a math/rand source seeded with the scenario base seed.
+// This matches the historical sim.RunMany derivation exactly, so a
+// single-scenario campaign with a pinned seed reproduces the results
+// the sequential trial loops used to produce.
+func trialSeeds(base int64, trials int) []int64 {
+	seeder := rand.New(rand.NewSource(base))
+	seeds := make([]int64, trials)
+	for i := range seeds {
+		seeds[i] = seeder.Int63()
+	}
+	return seeds
+}
+
+// Run executes the campaign, fanning every trial of every scenario out
+// over the worker pool. The returned Result is fully deterministic in
+// (Campaign definition, Seed): worker scheduling affects wall-clock
+// time only. On error or cancellation the first failure is returned and
+// the remaining trials are abandoned.
+func (c Campaign) Run(ctx context.Context) (*Result, error) {
+	if err := c.validate(); err != nil {
+		return nil, err
+	}
+	workers := c.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	type job struct {
+		scenario int
+		trial    int
+		seed     int64
+	}
+	var jobs []job
+	res := &Result{Campaign: c.Name, Seed: c.Seed}
+	res.Scenarios = make([]ScenarioResult, len(c.Scenarios))
+	for si, s := range c.Scenarios {
+		base := scenarioSeed(c.Seed, si)
+		if s.Seed != nil {
+			base = *s.Seed
+		}
+		res.Scenarios[si] = ScenarioResult{
+			Name:   s.Name,
+			Seed:   base,
+			Trials: make([]Trial, s.Trials),
+		}
+		for ti, seed := range trialSeeds(base, s.Trials) {
+			jobs = append(jobs, job{scenario: si, trial: ti, seed: seed})
+		}
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+	)
+	fail := func(err error) {
+		errOnce.Do(func() {
+			firstErr = err
+			cancel()
+		})
+	}
+	ch := make(chan job)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range ch {
+				if ctx.Err() != nil {
+					return
+				}
+				s := &c.Scenarios[j.scenario]
+				obs, err := s.Run(ctx, j.trial, j.seed)
+				if err != nil {
+					if ctx.Err() != nil {
+						fail(ctx.Err())
+					} else {
+						fail(fmt.Errorf("harness: scenario %q trial %d: %w", s.Name, j.trial, err))
+					}
+					return
+				}
+				res.Scenarios[j.scenario].Trials[j.trial] = Trial{
+					Trial:       j.trial,
+					Seed:        j.seed,
+					Observation: obs,
+				}
+			}
+		}()
+	}
+feed:
+	for _, j := range jobs {
+		select {
+		case ch <- j:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(ch)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	for si := range res.Scenarios {
+		res.Scenarios[si].Stats = Aggregate(res.Scenarios[si].Trials)
+	}
+	return res, nil
+}
+
+func (c Campaign) validate() error {
+	if len(c.Scenarios) == 0 {
+		return errors.New("harness: campaign has no scenarios")
+	}
+	names := make(map[string]bool, len(c.Scenarios))
+	for i, s := range c.Scenarios {
+		if s.Name == "" {
+			return fmt.Errorf("harness: scenario %d has no name", i)
+		}
+		if names[s.Name] {
+			return fmt.Errorf("harness: duplicate scenario name %q", s.Name)
+		}
+		names[s.Name] = true
+		if s.Trials <= 0 {
+			return fmt.Errorf("harness: scenario %q: trials must be positive", s.Name)
+		}
+		if s.Run == nil {
+			return fmt.Errorf("harness: scenario %q has no trial function", s.Name)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,241 @@
+package harness
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeScenario derives an observation purely from the trial seed, so
+// results must be identical regardless of scheduling.
+func fakeScenario(name string, trials int) Scenario {
+	return Scenario{
+		Name:   name,
+		Trials: trials,
+		Run: func(_ context.Context, trial int, seed int64) (Observation, error) {
+			return Observation{
+				Stabilised:        seed%7 != 0,
+				StabilisationTime: uint64(seed % 1000),
+				RoundsRun:         uint64(seed%1000) + 64,
+				Violations:        uint64(trial % 2),
+				MessagesPerRound:  12,
+				BitsPerRound:      240,
+			}, nil
+		},
+	}
+}
+
+func testCampaign(workers int) Campaign {
+	return Campaign{
+		Name:    "unit",
+		Seed:    42,
+		Workers: workers,
+		Scenarios: []Scenario{
+			fakeScenario("alpha", 17),
+			fakeScenario("beta", 5),
+			fakeScenario("gamma", 1),
+		},
+	}
+}
+
+func TestDeterministicAcrossWorkerCounts(t *testing.T) {
+	var want bytes.Buffer
+	ref, err := testCampaign(1).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ref.WriteJSON(&want); err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 8, 0} {
+		res, err := testCampaign(workers).Run(context.Background())
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		var got bytes.Buffer
+		if err := res.WriteJSON(&got); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(want.Bytes(), got.Bytes()) {
+			t.Fatalf("workers=%d: JSON output differs from workers=1\n--- want ---\n%s\n--- got ---\n%s",
+				workers, want.String(), got.String())
+		}
+	}
+}
+
+func TestScenarioSeedsAreDistinct(t *testing.T) {
+	res, err := testCampaign(1).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int64]string{}
+	for _, sc := range res.Scenarios {
+		if prev, dup := seen[sc.Seed]; dup {
+			t.Fatalf("scenarios %q and %q share base seed %d", prev, sc.Name, sc.Seed)
+		}
+		seen[sc.Seed] = sc.Name
+	}
+}
+
+func TestPinnedScenarioSeedDrivesTrialSeeds(t *testing.T) {
+	pinned := int64(123)
+	c := Campaign{
+		Name: "pinned",
+		Seed: 999,
+		Scenarios: []Scenario{{
+			Name:   "s",
+			Trials: 3,
+			Seed:   &pinned,
+			Run: func(_ context.Context, _ int, seed int64) (Observation, error) {
+				return Observation{StabilisationTime: uint64(seed)}, nil
+			},
+		}},
+	}
+	res, err := c.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Scenarios[0].Seed != pinned {
+		t.Fatalf("scenario seed = %d, want pinned %d", res.Scenarios[0].Seed, pinned)
+	}
+	for i, seed := range trialSeeds(pinned, 3) {
+		if got := res.Scenarios[0].Trials[i].Seed; got != seed {
+			t.Fatalf("trial %d seed = %d, want %d", i, got, seed)
+		}
+	}
+}
+
+func TestCancellationMidCampaign(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var started atomic.Int32
+	c := Campaign{
+		Name:    "cancel",
+		Workers: 2,
+		Scenarios: []Scenario{{
+			Name:   "block",
+			Trials: 64,
+			Run: func(ctx context.Context, _ int, _ int64) (Observation, error) {
+				if started.Add(1) == 2 {
+					cancel()
+				}
+				<-ctx.Done()
+				return Observation{}, ctx.Err()
+			},
+		}},
+	}
+	done := make(chan struct{})
+	var res *Result
+	var err error
+	go func() {
+		res, err = c.Run(ctx)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("campaign did not return after cancellation")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res != nil {
+		t.Fatal("cancelled campaign returned a result")
+	}
+	if n := started.Load(); n >= 64 {
+		t.Fatalf("all %d trials started despite cancellation", n)
+	}
+}
+
+func TestTrialErrorAbortsCampaign(t *testing.T) {
+	boom := errors.New("boom")
+	var ran atomic.Int32
+	c := Campaign{
+		Name:    "err",
+		Workers: 2,
+		Scenarios: []Scenario{{
+			Name:   "failing",
+			Trials: 50,
+			Run: func(_ context.Context, trial int, _ int64) (Observation, error) {
+				ran.Add(1)
+				if trial == 3 {
+					return Observation{}, boom
+				}
+				return Observation{}, nil
+			},
+		}},
+	}
+	_, err := c.Run(context.Background())
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped boom", err)
+	}
+	if !strings.Contains(err.Error(), `scenario "failing" trial 3`) {
+		t.Fatalf("error %q does not identify the failing trial", err)
+	}
+	if n := ran.Load(); n >= 50 {
+		t.Fatalf("all %d trials ran despite an early error", n)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	run := func(_ context.Context, _ int, _ int64) (Observation, error) {
+		return Observation{}, nil
+	}
+	cases := []struct {
+		name string
+		c    Campaign
+	}{
+		{"no scenarios", Campaign{Name: "x"}},
+		{"unnamed scenario", Campaign{Scenarios: []Scenario{{Trials: 1, Run: run}}}},
+		{"duplicate names", Campaign{Scenarios: []Scenario{
+			{Name: "a", Trials: 1, Run: run}, {Name: "a", Trials: 1, Run: run},
+		}}},
+		{"zero trials", Campaign{Scenarios: []Scenario{{Name: "a", Run: run}}}},
+		{"nil run", Campaign{Scenarios: []Scenario{{Name: "a", Trials: 1}}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := tc.c.Run(context.Background()); err == nil {
+				t.Error("expected error")
+			}
+		})
+	}
+}
+
+func TestResultScenarioLookup(t *testing.T) {
+	res, err := testCampaign(1).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc := res.Scenario("beta"); sc == nil || sc.Name != "beta" {
+		t.Fatalf("Scenario(beta) = %v", sc)
+	}
+	if sc := res.Scenario("nope"); sc != nil {
+		t.Fatalf("Scenario(nope) = %v, want nil", sc)
+	}
+}
+
+func TestCSVExport(t *testing.T) {
+	res, err := testCampaign(1).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := res.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	wantRows := 1 + 17 + 5 + 1
+	if len(lines) != wantRows {
+		t.Fatalf("CSV has %d lines, want %d", len(lines), wantRows)
+	}
+	if !strings.HasPrefix(lines[0], "campaign,scenario,trial,seed,stabilised") {
+		t.Fatalf("unexpected CSV header %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "unit,alpha,0,") {
+		t.Fatalf("unexpected first CSV row %q", lines[1])
+	}
+}

@@ -1,0 +1,112 @@
+package harness
+
+import "sort"
+
+// Stats aggregates the trials of one scenario. Stabilisation-time
+// statistics (Min/Max/Mean/Median/P95/P99) are computed over stabilised
+// trials only, matching the historical sim.Stats convention; the
+// remaining fields aggregate over all trials.
+type Stats struct {
+	// Trials is the number of trials run.
+	Trials int `json:"trials"`
+	// Stabilised is the number of trials that stabilised.
+	Stabilised int `json:"stabilised"`
+	// MinTime and MaxTime bound the measured stabilisation times.
+	MinTime uint64 `json:"min_time"`
+	MaxTime uint64 `json:"max_time"`
+	// MeanTime, MedianTime, P95Time and P99Time summarise the
+	// distribution of stabilisation times.
+	MeanTime   float64 `json:"mean_time"`
+	MedianTime float64 `json:"median_time"`
+	P95Time    float64 `json:"p95_time"`
+	P99Time    float64 `json:"p99_time"`
+	// MinRounds/MeanRounds/MaxRounds summarise how many rounds the
+	// trials actually simulated (early-stopping runs end sooner).
+	MinRounds  uint64  `json:"min_rounds"`
+	MeanRounds float64 `json:"mean_rounds"`
+	MaxRounds  uint64  `json:"max_rounds"`
+	// Violations is the total post-stabilisation violation count across
+	// all trials — the empirical failure counter of Corollary 4.
+	Violations uint64 `json:"violations"`
+	// MaxPulls is the worst per-node pulling-model message complexity
+	// observed in any trial (zero for broadcast runs).
+	MaxPulls uint64 `json:"max_pulls"`
+	// MessagesPerRound and BitsPerRound report the largest per-round
+	// load observed in any trial.
+	MessagesPerRound uint64 `json:"messages_per_round"`
+	BitsPerRound     uint64 `json:"bits_per_round"`
+}
+
+// Aggregate computes scenario statistics from a slice of trials.
+func Aggregate(trials []Trial) Stats {
+	st := Stats{Trials: len(trials)}
+	var times []float64
+	var sumT, sumRounds float64
+	for i, tr := range trials {
+		if tr.Stabilised {
+			if st.Stabilised == 0 || tr.StabilisationTime < st.MinTime {
+				st.MinTime = tr.StabilisationTime
+			}
+			if tr.StabilisationTime > st.MaxTime {
+				st.MaxTime = tr.StabilisationTime
+			}
+			st.Stabilised++
+			sumT += float64(tr.StabilisationTime)
+			times = append(times, float64(tr.StabilisationTime))
+		}
+		if i == 0 || tr.RoundsRun < st.MinRounds {
+			st.MinRounds = tr.RoundsRun
+		}
+		if tr.RoundsRun > st.MaxRounds {
+			st.MaxRounds = tr.RoundsRun
+		}
+		sumRounds += float64(tr.RoundsRun)
+		st.Violations += tr.Violations
+		if tr.MaxPulls > st.MaxPulls {
+			st.MaxPulls = tr.MaxPulls
+		}
+		if tr.MessagesPerRound > st.MessagesPerRound {
+			st.MessagesPerRound = tr.MessagesPerRound
+		}
+		if tr.BitsPerRound > st.BitsPerRound {
+			st.BitsPerRound = tr.BitsPerRound
+		}
+	}
+	if st.Trials > 0 {
+		st.MeanRounds = sumRounds / float64(st.Trials)
+	}
+	if st.Stabilised > 0 {
+		st.MeanTime = sumT / float64(st.Stabilised)
+		sort.Float64s(times)
+		st.MedianTime = Percentile(times, 50)
+		st.P95Time = Percentile(times, 95)
+		st.P99Time = Percentile(times, 99)
+	}
+	return st
+}
+
+// Percentile returns the q-th percentile (q in [0,100]) of an
+// ascending-sorted slice, using linear interpolation between closest
+// ranks: for n values the rank of q is r = q/100·(n−1), and the result
+// interpolates between sorted[⌊r⌋] and sorted[⌈r⌉]. This is the
+// "inclusive" definition used by most numerical libraries; Percentile
+// of an empty slice is 0.
+func Percentile(sorted []float64, q float64) float64 {
+	n := len(sorted)
+	if n == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 100 {
+		return sorted[n-1]
+	}
+	r := q / 100 * float64(n-1)
+	lo := int(r)
+	frac := r - float64(lo)
+	if lo+1 >= n {
+		return sorted[n-1]
+	}
+	return sorted[lo] + frac*(sorted[lo+1]-sorted[lo])
+}

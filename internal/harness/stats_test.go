@@ -1,0 +1,105 @@
+package harness
+
+import (
+	"math"
+	"testing"
+)
+
+func almostEqual(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+// TestPercentileFixture pins the interpolation maths to hand-computed
+// values: for sorted [10,20,30,40], rank(q) = q/100·3, so
+// p50 → rank 1.5 → 25, p95 → rank 2.85 → 38.5, p99 → rank 2.97 → 39.7.
+func TestPercentileFixture(t *testing.T) {
+	sorted := []float64{10, 20, 30, 40}
+	cases := []struct {
+		q    float64
+		want float64
+	}{
+		{0, 10},
+		{25, 17.5},
+		{50, 25},
+		{75, 32.5},
+		{95, 38.5},
+		{99, 39.7},
+		{100, 40},
+	}
+	for _, tc := range cases {
+		if got := Percentile(sorted, tc.q); !almostEqual(got, tc.want) {
+			t.Errorf("Percentile(%v, %v) = %v, want %v", sorted, tc.q, got, tc.want)
+		}
+	}
+}
+
+func TestPercentileEdgeCases(t *testing.T) {
+	if got := Percentile(nil, 50); got != 0 {
+		t.Errorf("Percentile(nil, 50) = %v, want 0", got)
+	}
+	if got := Percentile([]float64{7}, 95); got != 7 {
+		t.Errorf("Percentile([7], 95) = %v, want 7", got)
+	}
+	if got := Percentile([]float64{1, 2}, 50); !almostEqual(got, 1.5) {
+		t.Errorf("Percentile([1,2], 50) = %v, want 1.5", got)
+	}
+}
+
+// TestAggregateFixture checks the full stats block against hand-computed
+// values, including the convention that time statistics cover stabilised
+// trials only while round statistics cover all trials.
+func TestAggregateFixture(t *testing.T) {
+	trials := []Trial{
+		{Trial: 0, Observation: Observation{Stabilised: true, StabilisationTime: 10, RoundsRun: 100, Violations: 1, MessagesPerRound: 12, BitsPerRound: 120}},
+		{Trial: 1, Observation: Observation{Stabilised: true, StabilisationTime: 40, RoundsRun: 140, MaxPulls: 9}},
+		{Trial: 2, Observation: Observation{Stabilised: false, RoundsRun: 200, Violations: 2}},
+		{Trial: 3, Observation: Observation{Stabilised: true, StabilisationTime: 20, RoundsRun: 120}},
+		{Trial: 4, Observation: Observation{Stabilised: true, StabilisationTime: 30, RoundsRun: 130, MaxPulls: 4}},
+	}
+	st := Aggregate(trials)
+	if st.Trials != 5 || st.Stabilised != 4 {
+		t.Fatalf("trials/stabilised = %d/%d, want 5/4", st.Trials, st.Stabilised)
+	}
+	if st.MinTime != 10 || st.MaxTime != 40 {
+		t.Errorf("min/max = %d/%d, want 10/40", st.MinTime, st.MaxTime)
+	}
+	if !almostEqual(st.MeanTime, 25) {
+		t.Errorf("mean = %v, want 25", st.MeanTime)
+	}
+	if !almostEqual(st.MedianTime, 25) {
+		t.Errorf("median = %v, want 25", st.MedianTime)
+	}
+	if !almostEqual(st.P95Time, 38.5) {
+		t.Errorf("p95 = %v, want 38.5", st.P95Time)
+	}
+	if !almostEqual(st.P99Time, 39.7) {
+		t.Errorf("p99 = %v, want 39.7", st.P99Time)
+	}
+	if st.MinRounds != 100 || st.MaxRounds != 200 {
+		t.Errorf("min/max rounds = %d/%d, want 100/200", st.MinRounds, st.MaxRounds)
+	}
+	if !almostEqual(st.MeanRounds, 138) {
+		t.Errorf("mean rounds = %v, want 138", st.MeanRounds)
+	}
+	if st.Violations != 3 {
+		t.Errorf("violations = %d, want 3", st.Violations)
+	}
+	if st.MaxPulls != 9 {
+		t.Errorf("max pulls = %d, want 9", st.MaxPulls)
+	}
+	if st.MessagesPerRound != 12 || st.BitsPerRound != 120 {
+		t.Errorf("messages/bits = %d/%d, want 12/120", st.MessagesPerRound, st.BitsPerRound)
+	}
+}
+
+func TestAggregateEmptyAndUnstabilised(t *testing.T) {
+	st := Aggregate(nil)
+	if st.Trials != 0 || st.Stabilised != 0 || st.MeanTime != 0 {
+		t.Fatalf("Aggregate(nil) = %+v, want zero stats", st)
+	}
+	st = Aggregate([]Trial{{Observation: Observation{RoundsRun: 50}}})
+	if st.Stabilised != 0 || st.MeanTime != 0 || st.MedianTime != 0 {
+		t.Fatalf("unstabilised trial produced time stats: %+v", st)
+	}
+	if st.MeanRounds != 50 {
+		t.Fatalf("mean rounds = %v, want 50", st.MeanRounds)
+	}
+}

@@ -66,7 +66,14 @@ type Config struct {
 	StopEarly bool
 	// OnRound observes (round, states, outputs) like sim.Config.OnRound.
 	OnRound func(round uint64, states []alg.State, outputs []int)
+	// Abort, when non-nil, is polled once per round; the run stops with
+	// ErrAborted as soon as it returns true (see sim.Config.Abort).
+	Abort func() bool
 }
+
+// ErrAborted is returned by Run/RunFull when Config.Abort requested an
+// early stop.
+var ErrAborted = errors.New("pull: run aborted")
 
 // Result reports a pulling-model run.
 type Result struct {
@@ -161,6 +168,9 @@ func run(cfg Config) (Result, error) {
 	var totalPulls, nodeRounds uint64
 
 	for round := uint64(0); round < cfg.MaxRounds; round++ {
+		if cfg.Abort != nil && cfg.Abort() {
+			return Result{}, ErrAborted
+		}
 		agree := true
 		common := -1
 		for i := 0; i < n; i++ {

@@ -1,0 +1,64 @@
+package sim
+
+import (
+	"context"
+
+	"github.com/synchcount/synchcount/internal/harness"
+)
+
+// CampaignScenario adapts a broadcast-model Config to a campaign
+// scenario running `trials` independent trials. The scenario pins
+// cfg.Seed as its base seed, so trial seeds are drawn exactly as the
+// historical RunMany did; cfg.StopEarly selects Run vs RunFull
+// semantics.
+//
+// The Config is shared across concurrent trials, so everything it
+// references must be read-only during a run: all built-in adversaries
+// and algorithms qualify, but the greedy lookahead adversary does not —
+// use CampaignScenarioFunc with a per-trial constructor for it.
+func CampaignScenario(name string, cfg Config, trials int) harness.Scenario {
+	return CampaignScenarioFunc(name, trials, func(int) (Config, error) {
+		return cfg, nil
+	}, &cfg.Seed)
+}
+
+// CampaignScenarioFunc builds a campaign scenario whose Config is
+// constructed freshly for every trial — required when the config holds
+// per-run mutable state (a greedy adversary, an OnRound trace sink).
+// The returned config's Seed is overwritten with the engine-derived
+// trial seed. seed optionally pins the scenario base seed; pass nil to
+// derive it from the campaign seed.
+func CampaignScenarioFunc(name string, trials int, build func(trial int) (Config, error), seed *int64) harness.Scenario {
+	return harness.Scenario{
+		Name:   name,
+		Trials: trials,
+		Seed:   seed,
+		Run: func(ctx context.Context, trial int, trialSeed int64) (harness.Observation, error) {
+			cfg, err := build(trial)
+			if err != nil {
+				return harness.Observation{}, err
+			}
+			cfg.Seed = trialSeed
+			if cfg.Abort == nil {
+				cfg.Abort = func() bool { return ctx.Err() != nil }
+			}
+			var r Result
+			if cfg.StopEarly {
+				r, err = Run(cfg)
+			} else {
+				r, err = RunFull(cfg)
+			}
+			if err != nil {
+				return harness.Observation{}, err
+			}
+			return harness.Observation{
+				Stabilised:        r.Stabilised,
+				StabilisationTime: r.StabilisationTime,
+				RoundsRun:         r.RoundsRun,
+				Violations:        r.Violations,
+				MessagesPerRound:  r.MessagesPerRound,
+				BitsPerRound:      r.BitsPerRound,
+			}, nil
+		},
+	}
+}

@@ -14,12 +14,14 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
 
 	"github.com/synchcount/synchcount/internal/adversary"
 	"github.com/synchcount/synchcount/internal/alg"
+	"github.com/synchcount/synchcount/internal/harness"
 )
 
 // DefaultWindowFor returns the default number of consecutive correct
@@ -69,7 +71,16 @@ type Config struct {
 	// faulty nodes are present but meaningless). Used by the figure
 	// harnesses to record traces.
 	OnRound func(round uint64, states []alg.State, outputs []int)
+
+	// Abort, when non-nil, is polled once per round; the run stops with
+	// ErrAborted as soon as it returns true. The campaign engine uses it
+	// to propagate context cancellation into long runs.
+	Abort func() bool
 }
+
+// ErrAborted is returned by Run/RunFull when Config.Abort requested an
+// early stop.
+var ErrAborted = errors.New("sim: run aborted")
 
 // Result reports the outcome of a run.
 type Result struct {
@@ -199,6 +210,9 @@ func run(cfg Config) (Result, error) {
 	det := NewDetector(c, window)
 
 	for round := uint64(0); round < cfg.MaxRounds; round++ {
+		if cfg.Abort != nil && cfg.Abort() {
+			return Result{}, ErrAborted
+		}
 		// Observe outputs of the start-of-round configuration.
 		agree := true
 		common := -1
@@ -269,35 +283,33 @@ type Stats struct {
 
 // RunMany runs the configuration across `trials` seeds derived from
 // cfg.Seed and aggregates the measured stabilisation times.
+//
+// It is a thin compatibility wrapper over a single-scenario campaign
+// (see internal/harness): trial seeds and results are identical to the
+// historical sequential loop. It runs with one worker because a shared
+// Config may hold components that are not safe for concurrent use (the
+// greedy lookahead adversary caches per-round state); parallel callers
+// should build a Campaign with per-trial configs via CampaignScenarioFunc.
 func RunMany(cfg Config, trials int) (Stats, error) {
 	if trials <= 0 {
 		return Stats{}, errors.New("sim: trials must be positive")
 	}
-	seeder := rand.New(rand.NewSource(cfg.Seed))
-	var st Stats
-	st.Trials = trials
-	var sum float64
-	for i := 0; i < trials; i++ {
-		c := cfg
-		c.Seed = seeder.Int63()
-		r, err := Run(c)
-		if err != nil {
-			return Stats{}, fmt.Errorf("trial %d: %w", i, err)
-		}
-		if !r.Stabilised {
-			continue
-		}
-		if st.Stabilised == 0 || r.StabilisationTime < st.MinTime {
-			st.MinTime = r.StabilisationTime
-		}
-		if r.StabilisationTime > st.MaxTime {
-			st.MaxTime = r.StabilisationTime
-		}
-		st.Stabilised++
-		sum += float64(r.StabilisationTime)
+	cfg.StopEarly = true
+	res, err := harness.Campaign{
+		Name:      "runmany",
+		Seed:      cfg.Seed,
+		Workers:   1,
+		Scenarios: []harness.Scenario{CampaignScenario("runmany", cfg, trials)},
+	}.Run(context.Background())
+	if err != nil {
+		return Stats{}, err
 	}
-	if st.Stabilised > 0 {
-		st.MeanTime = sum / float64(st.Stabilised)
-	}
-	return st, nil
+	s := res.Scenarios[0].Stats
+	return Stats{
+		Trials:     s.Trials,
+		Stabilised: s.Stabilised,
+		MinTime:    s.MinTime,
+		MaxTime:    s.MaxTime,
+		MeanTime:   s.MeanTime,
+	}, nil
 }

@@ -43,12 +43,14 @@
 package synchcount
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/synchcount/synchcount/internal/adversary"
 	"github.com/synchcount/synchcount/internal/alg"
 	"github.com/synchcount/synchcount/internal/boost"
 	"github.com/synchcount/synchcount/internal/counter"
+	"github.com/synchcount/synchcount/internal/harness"
 	"github.com/synchcount/synchcount/internal/pull"
 	"github.com/synchcount/synchcount/internal/recursion"
 	"github.com/synchcount/synchcount/internal/reduction"
@@ -90,7 +92,63 @@ func Simulate(cfg SimConfig) (SimResult, error) { return sim.Run(cfg) }
 func SimulateFull(cfg SimConfig) (SimResult, error) { return sim.RunFull(cfg) }
 
 // SimulateMany aggregates stabilisation statistics across derived seeds.
+// It runs sequentially for compatibility; use a Campaign for parallel
+// trial execution and richer statistics.
 func SimulateMany(cfg SimConfig, trials int) (SimStats, error) { return sim.RunMany(cfg, trials) }
+
+// Campaign engine (see internal/harness): a grid of scenarios executed
+// concurrently over a worker pool with deterministic per-trial seed
+// derivation, context cancellation and JSON/CSV export.
+type (
+	// Campaign is a grid of scenarios executed as one parallel batch.
+	Campaign = harness.Campaign
+	// Scenario is one cell of a campaign grid.
+	Scenario = harness.Scenario
+	// CampaignResult is a completed campaign with per-scenario results.
+	CampaignResult = harness.Result
+	// ScenarioResult is one scenario's aggregated outcome.
+	ScenarioResult = harness.ScenarioResult
+	// CampaignStats aggregates one scenario's trials, including
+	// median/p95/p99 stabilisation times.
+	CampaignStats = harness.Stats
+	// CampaignTrial is a single trial record.
+	CampaignTrial = harness.Trial
+	// Observation is what one trial measures.
+	Observation = harness.Observation
+)
+
+// RunCampaign executes the campaign over its worker pool. Results are
+// deterministic in (campaign definition, seed) at any worker count.
+func RunCampaign(ctx context.Context, c Campaign) (*CampaignResult, error) { return c.Run(ctx) }
+
+// SimScenario adapts a broadcast-model SimConfig to a campaign scenario
+// of `trials` trials. The config is shared across concurrent trials and
+// must therefore only reference read-only components (the greedy
+// adversary is not; use SimScenarioFunc for it).
+func SimScenario(name string, cfg SimConfig, trials int) Scenario {
+	return sim.CampaignScenario(name, cfg, trials)
+}
+
+// SimScenarioFunc builds a campaign scenario whose SimConfig is
+// constructed freshly per trial — required for per-run mutable state
+// such as the greedy adversary or OnRound trace sinks.
+func SimScenarioFunc(name string, trials int, build func(trial int) (SimConfig, error)) Scenario {
+	return sim.CampaignScenarioFunc(name, trials, build, nil)
+}
+
+// PullScenario adapts a pulling-model PullConfig to a campaign scenario
+// of `trials` trials.
+func PullScenario(name string, cfg PullConfig, trials int) Scenario {
+	return pull.CampaignScenario(name, cfg, trials)
+}
+
+// ErrSimAborted is returned by broadcast-model simulations stopped via
+// SimConfig.Abort.
+var ErrSimAborted = sim.ErrAborted
+
+// ErrPullAborted is returned by pulling-model simulations stopped via
+// PullConfig.Abort.
+var ErrPullAborted = pull.ErrAborted
 
 // Recursive construction plans (see internal/recursion).
 type (
