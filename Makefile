@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench fuzz-smoke fmt fmt-check vet ci
+.PHONY: build test race bench fuzz-smoke shard-smoke fmt fmt-check vet ci
 
 build:
 	$(GO) build ./...
@@ -21,6 +21,23 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz='^FuzzPackUnpack$$' -fuzztime=10s ./internal/codec
 	$(GO) test -run='^$$' -fuzz='^FuzzStepTotal$$' -fuzztime=10s ./internal/phaseking
 	$(GO) test -run='^$$' -fuzz='^FuzzStepTotal$$' -fuzztime=10s ./internal/boost
+	$(GO) test -run='^$$' -fuzz='^FuzzShardSpec$$' -fuzztime=10s ./internal/harness
+	$(GO) test -run='^$$' -fuzz='^FuzzShardSpecParseArbitrary$$' -fuzztime=10s ./internal/harness
+	$(GO) test -run='^$$' -fuzz='^FuzzMergeResults$$' -fuzztime=10s ./internal/harness
+
+# One campaign as two shards in separate processes, merged, and diffed
+# byte-for-byte against the unsharded run.
+shard-smoke:
+	@tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	args="-alg optimal -f 1 -c 4 -faults 2 -adversary splitvote -trials 8 -seed 7"; \
+	$(GO) run ./cmd/countsim $$args -json $$tmp/full.json -ndjson $$tmp/full.ndjson && \
+	$(GO) run ./cmd/countsim $$args -shard 0/2 -json $$tmp/shard0.json && \
+	$(GO) run ./cmd/countsim $$args -shard 1/2 -json $$tmp/shard1.json && \
+	$(GO) run ./cmd/countsim -merge $$tmp/shard0.json,$$tmp/shard1.json \
+		-json $$tmp/merged.json -ndjson $$tmp/merged.ndjson && \
+	cmp $$tmp/full.json $$tmp/merged.json && \
+	cmp $$tmp/full.ndjson $$tmp/merged.ndjson && \
+	echo "shard-smoke: sharded merge is byte-identical to the unsharded run"
 
 fmt:
 	gofmt -w .
@@ -33,4 +50,4 @@ fmt-check:
 vet:
 	$(GO) vet ./...
 
-ci: build vet fmt-check race fuzz-smoke bench
+ci: build vet fmt-check race fuzz-smoke bench shard-smoke

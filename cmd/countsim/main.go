@@ -8,18 +8,31 @@
 //	countsim -alg figure2 -c 10 -faults 4,5,6,7,13,22,31 -adversary saboteur -worstinit
 //	countsim -alg randagree -n 6 -f 1 -faults 0 -trials 20
 //	countsim -alg optimal -faults 0 -adversary greedy -trials 100 -json results.json
+//
+// Large campaigns split across processes or machines and stream:
+//
+//	countsim -trials 100000 -ndjson -            # constant-memory live stream
+//	countsim -trials 100000 -shard 0/2 -json s0.json   # on machine A
+//	countsim -trials 100000 -shard 1/2 -json s1.json   # on machine B
+//	countsim -merge s0.json,s1.json -json full.json    # byte-identical to unsharded
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
 
 	"github.com/synchcount/synchcount"
+	"github.com/synchcount/synchcount/internal/campaigncli"
 )
+
+// out carries the human-readable report; it moves to stderr when
+// `-ndjson -` claims stdout for the machine-readable stream.
+var out io.Writer = os.Stdout
 
 func main() {
 	if err := run(); err != nil {
@@ -47,7 +60,18 @@ func run() error {
 		jsonPath  = flag.String("json", "", "write the campaign result as JSON to this file")
 		csvPath   = flag.String("csv", "", "write per-trial results as CSV to this file")
 	)
+	dist := campaigncli.Register(flag.CommandLine)
 	flag.Parse()
+	out = dist.HumanOut()
+
+	// Merge mode reassembles shard results written with -json; no
+	// simulation runs, so the algorithm flags are ignored.
+	if dist.MergeMode() {
+		return dist.MergeAndReport(*jsonPath, *csvPath)
+	}
+	if err := dist.CheckShardExport(*jsonPath, *csvPath); err != nil {
+		return err
+	}
 
 	a, cnt, err := buildAlgorithm(*algName, *n, *f, *k, *depth, *c)
 	if err != nil {
@@ -124,12 +148,12 @@ func run() error {
 		return cfg, nil
 	}
 
-	fmt.Printf("algorithm   : %s (n=%d f=%d c=%d, %d state bits, deterministic=%v)\n",
+	fmt.Fprintf(out, "algorithm   : %s (n=%d f=%d c=%d, %d state bits, deterministic=%v)\n",
 		*algName, a.N(), a.F(), a.C(), synchcount.StateBits(a), synchcount.IsDeterministic(a))
 	if bound > 0 {
-		fmt.Printf("bound       : T <= %d rounds (Theorem 1 accounting)\n", bound)
+		fmt.Fprintf(out, "bound       : T <= %d rounds (Theorem 1 accounting)\n", bound)
 	}
-	fmt.Printf("faults      : %v under %q adversary\n", faulty, *advName)
+	fmt.Fprintf(out, "faults      : %v under %q adversary\n", faulty, *advName)
 
 	// Single trials and full campaigns share one code path, so the same
 	// flags always measure the same runs whether or not an export flag
@@ -140,7 +164,7 @@ func run() error {
 	}
 	scenario := synchcount.SimScenarioFunc(*algName, trialCount, buildConfig)
 	scenario.Seed = seed
-	result, err := synchcount.RunCampaign(context.Background(), synchcount.Campaign{
+	result, err := dist.Run(context.Background(), synchcount.Campaign{
 		Name:      "countsim",
 		Seed:      *seed,
 		Workers:   *workers,
@@ -149,39 +173,32 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	if trialCount == 1 {
-		tr := result.Scenarios[0].Trials[0]
+	recs := result.Scenarios[0].Trials
+	if trialCount == 1 && len(recs) == 1 {
+		tr := recs[0]
 		if !tr.Stabilised {
-			fmt.Printf("result      : DID NOT STABILISE within %d rounds\n", tr.RoundsRun)
+			fmt.Fprintf(out, "result      : DID NOT STABILISE within %d rounds\n", tr.RoundsRun)
 		} else {
-			fmt.Printf("result      : stabilised at round %d (ran %d rounds, window %d)\n",
+			fmt.Fprintf(out, "result      : stabilised at round %d (ran %d rounds, window %d)\n",
 				tr.StabilisationTime, tr.RoundsRun, *window)
-			fmt.Printf("bits/round  : %d across the network\n", tr.BitsPerRound)
+			fmt.Fprintf(out, "bits/round  : %d across the network\n", tr.BitsPerRound)
 		}
 	} else {
 		st := result.Scenarios[0].Stats
-		fmt.Printf("result      : %d/%d stabilised\n", st.Stabilised, st.Trials)
+		if dist.Sharded() {
+			fmt.Fprintf(out, "shard       : ran %d of %d trials (merge the shard JSONs for campaign totals)\n",
+				st.Trials, trialCount)
+		}
+		fmt.Fprintf(out, "result      : %d/%d stabilised\n", st.Stabilised, st.Trials)
 		if st.Stabilised > 0 {
-			fmt.Printf("T rounds    : min %d / mean %.1f / median %.1f / p95 %.1f / p99 %.1f / max %d\n",
+			fmt.Fprintf(out, "T rounds    : min %d / mean %.1f / median %.1f / p95 %.1f / p99 %.1f / max %d\n",
 				st.MinTime, st.MeanTime, st.MedianTime, st.P95Time, st.P99Time, st.MaxTime)
 		}
 		if st.Violations > 0 {
-			fmt.Printf("violations  : %d post-stabilisation rounds broke counting\n", st.Violations)
+			fmt.Fprintf(out, "violations  : %d post-stabilisation rounds broke counting\n", st.Violations)
 		}
 	}
-	if *jsonPath != "" {
-		if err := result.WriteJSONFile(*jsonPath); err != nil {
-			return err
-		}
-		fmt.Printf("json        : wrote %s\n", *jsonPath)
-	}
-	if *csvPath != "" {
-		if err := result.WriteCSVFile(*csvPath); err != nil {
-			return err
-		}
-		fmt.Printf("csv         : wrote %s\n", *csvPath)
-	}
-	return nil
+	return dist.WriteExports(result, *jsonPath, *csvPath)
 }
 
 func buildAlgorithm(name string, n, f, k, depth, c int) (synchcount.Algorithm, *synchcount.Counter, error) {

@@ -14,11 +14,17 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
 	"github.com/synchcount/synchcount"
+	"github.com/synchcount/synchcount/internal/campaigncli"
 )
+
+// out carries the human-readable report; it moves to stderr when
+// `-ndjson -` claims stdout for the machine-readable stream.
+var out io.Writer = os.Stdout
 
 func main() {
 	if err := run(); err != nil {
@@ -29,13 +35,26 @@ func main() {
 
 func run() error {
 	var (
-		width  = flag.Int("width", 160, "timeline width in rounds")
-		offset = flag.Uint64("offset", 0, "first round to display")
-		blocks = flag.Int("blocks", 3, "number of block timelines to display (2..5)")
+		width    = flag.Int("width", 160, "timeline width in rounds")
+		offset   = flag.Uint64("offset", 0, "first round to display")
+		blocks   = flag.Int("blocks", 3, "number of block timelines to display (2..5)")
+		jsonPath = flag.String("json", "", "write the campaign result as JSON to this file")
 	)
+	dist := campaigncli.Register(flag.CommandLine)
 	flag.Parse()
+	out = dist.HumanOut()
 	if *blocks < 2 || *blocks > 5 {
 		return fmt.Errorf("blocks must be in 2..5")
+	}
+
+	// Merge mode reassembles shard results; the pointer timelines are
+	// OnRound side effects of a local run, so only the campaign record
+	// is reported.
+	if dist.MergeMode() {
+		return dist.MergeAndReport(*jsonPath, "")
+	}
+	if err := dist.CheckShardExport(*jsonPath); err != nil {
+		return err
 	}
 
 	// k = 5 blocks of one trivial node each: m = 3, 2m = 6 — the base-6
@@ -63,7 +82,7 @@ func run() error {
 	for i := range timelines {
 		timelines[i] = make([]uint64, 0, *width)
 	}
-	_, err = synchcount.RunCampaign(context.Background(), synchcount.Campaign{
+	result, err := dist.Run(context.Background(), synchcount.Campaign{
 		Name: "fig1",
 		Seed: 1,
 		Scenarios: []synchcount.Scenario{
@@ -88,10 +107,17 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	if err := dist.WriteExports(result, *jsonPath, ""); err != nil {
+		return err
+	}
+	if len(result.Scenarios[0].Trials) == 0 {
+		fmt.Fprintln(out, "this shard owns no trials of the fig1 campaign; nothing to draw")
+		return nil
+	}
 
-	fmt.Printf("Figure 1 — leader pointers b[i,·] of %d blocks (m = %d leaders, wheel base 2m = %d)\n",
+	fmt.Fprintf(out, "Figure 1 — leader pointers b[i,·] of %d blocks (m = %d leaders, wheel base 2m = %d)\n",
 		*blocks, cnt.M(), 2*cnt.M())
-	fmt.Printf("block i's pointer advances every c_{i-1} = τ(2m)^i rounds; τ = %d\n\n", cnt.Tau())
+	fmt.Fprintf(out, "block i's pointer advances every c_{i-1} = τ(2m)^i rounds; τ = %d\n\n", cnt.Tau())
 
 	for i := *blocks - 1; i >= 0; i-- {
 		var b strings.Builder
@@ -99,7 +125,7 @@ func run() error {
 		for _, ptr := range timelines[i] {
 			b.WriteByte('0' + byte(ptr%10))
 		}
-		fmt.Println(b.String())
+		fmt.Fprintln(out, b.String())
 	}
 
 	// Mark rounds where all displayed blocks agree on the pointer.
@@ -121,8 +147,8 @@ func run() error {
 			marks.WriteByte(' ')
 		}
 	}
-	fmt.Println(marks.String())
-	fmt.Printf("\n%d/%d displayed rounds have all blocks pointing at one leader (Lemma 2 windows)\n",
+	fmt.Fprintln(out, marks.String())
+	fmt.Fprintf(out, "\n%d/%d displayed rounds have all blocks pointing at one leader (Lemma 2 windows)\n",
 		common, *width)
 	return nil
 }

@@ -13,11 +13,17 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
 	"github.com/synchcount/synchcount"
+	"github.com/synchcount/synchcount/internal/campaigncli"
 )
+
+// out carries the human-readable report; it moves to stderr when
+// `-ndjson -` claims stdout for the machine-readable stream.
+var out io.Writer = os.Stdout
 
 func main() {
 	if err := run(); err != nil {
@@ -35,7 +41,16 @@ func run() error {
 		workers  = flag.Int("workers", 0, "concurrent trials (0 = GOMAXPROCS)")
 		jsonPath = flag.String("json", "", "write the campaign result as JSON to this file")
 	)
+	dist := campaigncli.Register(flag.CommandLine)
 	flag.Parse()
+	out = dist.HumanOut()
+
+	if dist.MergeMode() {
+		return dist.MergeAndReport(*jsonPath, "")
+	}
+	if err := dist.CheckShardExport(*jsonPath); err != nil {
+		return err
+	}
 
 	plan := synchcount.Plan{
 		Levels: []synchcount.PlanLevel{{K: 4, F: 1}, {K: 3, F: 3}, {K: 3, F: 7}},
@@ -46,22 +61,22 @@ func run() error {
 		return err
 	}
 
-	fmt.Println("Figure 2 — recursive application of Theorem 1 (k = 3 blocks per upper level)")
-	fmt.Println()
+	fmt.Fprintln(out, "Figure 2 — recursive application of Theorem 1 (k = 3 blocks per upper level)")
+	fmt.Fprintln(out)
 	for i := len(levels) - 1; i >= 0; i-- {
 		l := levels[i]
 		indent := strings.Repeat("  ", len(levels)-1-i)
-		fmt.Printf("%sA(%d,%d): %d blocks of %d nodes, counts mod %d, overhead 3(F+2)(2m)^k = %d\n",
+		fmt.Fprintf(out, "%sA(%d,%d): %d blocks of %d nodes, counts mod %d, overhead 3(F+2)(2m)^k = %d\n",
 			indent, l.N(), l.F(), l.K(), l.N()/l.K(), l.C(), l.RoundOverhead())
 	}
-	fmt.Printf("\npredicted: T <= %d rounds, %d state bits per node (exact |X| = %d)\n",
+	fmt.Fprintf(out, "\npredicted: T <= %d rounds, %d state bits per node (exact |X| = %d)\n",
 		stats.TimeBound, stats.StateBits, stats.StateSpace)
 
 	// Fault pattern of the figure: one fully faulty 4-node sub-block
 	// (nodes 4..7 — a faulty block at the lowest level), plus scattered
 	// faults in the other 12-node blocks.
 	faulty := []int{4, 5, 6, 7, 13, 22, 31}
-	fmt.Printf("faults (%d = F): %v — includes the fully faulty sub-block {4,5,6,7}\n\n", len(faulty), faulty)
+	fmt.Fprintf(out, "faults (%d = F): %v — includes the fully faulty sub-block {4,5,6,7}\n\n", len(faulty), faulty)
 
 	cfg := synchcount.SimConfig{
 		Alg:       top,
@@ -91,7 +106,7 @@ func run() error {
 		trialCount = 1
 	}
 	scenario := synchcount.SimScenario("figure2", cfg, trialCount)
-	result, err := synchcount.RunCampaign(context.Background(), synchcount.Campaign{
+	result, err := dist.Run(context.Background(), synchcount.Campaign{
 		Name:      "fig2",
 		Seed:      *seed,
 		Workers:   *workers,
@@ -100,19 +115,14 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	exportJSON := func() error {
-		if *jsonPath == "" {
-			return nil
-		}
-		if err := result.WriteJSONFile(*jsonPath); err != nil {
-			return err
-		}
-		fmt.Printf("json     : wrote %s\n", *jsonPath)
-		return nil
-	}
+	exportJSON := func() error { return dist.WriteExports(result, *jsonPath, "") }
 	st := result.Scenarios[0].Stats
+	if dist.Sharded() {
+		fmt.Fprintf(out, "shard    : ran %d of %d trials (merge the shard JSONs for campaign totals)\n",
+			st.Trials, trialCount)
+	}
 	if st.Stabilised < st.Trials {
-		fmt.Printf("%d/%d trials DID NOT STABILISE — this would falsify Theorem 1\n",
+		fmt.Fprintf(out, "%d/%d trials DID NOT STABILISE — this would falsify Theorem 1\n",
 			st.Trials-st.Stabilised, st.Trials)
 		// Export before exiting: the trial seeds of the would-be
 		// counterexample are exactly the data worth keeping.
@@ -121,17 +131,17 @@ func run() error {
 		}
 		os.Exit(1)
 	}
-	if trialCount == 1 {
-		tr := result.Scenarios[0].Trials[0]
-		fmt.Printf("measured : stabilised at round %d under %q (bound %d; headroom %.1fx)\n",
+	if trials := result.Scenarios[0].Trials; len(trials) == 1 {
+		tr := trials[0]
+		fmt.Fprintf(out, "measured : stabilised at round %d under %q (bound %d; headroom %.1fx)\n",
 			tr.StabilisationTime, *advName, stats.TimeBound,
 			float64(stats.TimeBound)/float64(max(tr.StabilisationTime, 1)))
 	} else {
-		fmt.Printf("measured : %d trials under %q, T median %.0f / p95 %.0f / max %d (bound %d; headroom %.1fx)\n",
+		fmt.Fprintf(out, "measured : %d trials under %q, T median %.0f / p95 %.0f / max %d (bound %d; headroom %.1fx)\n",
 			st.Trials, *advName, st.MedianTime, st.P95Time, st.MaxTime, stats.TimeBound,
 			float64(stats.TimeBound)/float64(max(st.MaxTime, 1)))
 	}
-	fmt.Printf("network  : %d messages/round, %d bits/round\n", st.MessagesPerRound, st.BitsPerRound)
+	fmt.Fprintf(out, "network  : %d messages/round, %d bits/round\n", st.MessagesPerRound, st.BitsPerRound)
 	return exportJSON()
 }
 

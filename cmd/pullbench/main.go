@@ -14,10 +14,16 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"github.com/synchcount/synchcount"
+	"github.com/synchcount/synchcount/internal/campaigncli"
 )
+
+// out carries the human-readable report; it moves to stderr when
+// `-ndjson -` claims stdout for the machine-readable stream.
+var out io.Writer = os.Stdout
 
 func main() {
 	if err := run(); err != nil {
@@ -36,7 +42,16 @@ func run() error {
 		csvPath  = flag.String("csv", "", "write per-trial results as CSV to this file")
 		jsonPath = flag.String("json", "", "write the campaign result as JSON to this file")
 	)
+	dist := campaigncli.Register(flag.CommandLine)
 	flag.Parse()
+	out = dist.HumanOut()
+
+	if dist.MergeMode() {
+		return dist.MergeAndReport(*jsonPath, *csvPath)
+	}
+	if err := dist.CheckShardExport(*jsonPath, *csvPath); err != nil {
+		return err
+	}
 
 	// Test network: the two-level A(12,3) stack with two actual faults
 	// (faulty fraction 1/6, comfortably below the 1/3 threshold so
@@ -83,7 +98,7 @@ func run() error {
 		campaign.Scenarios = append(campaign.Scenarios,
 			synchcount.PullScenario(fmt.Sprintf("M=%d", m), pullCfg(s), *trials))
 	}
-	result, err := synchcount.RunCampaign(context.Background(), campaign)
+	result, err := dist.Run(context.Background(), campaign)
 	if err != nil {
 		return err
 	}
@@ -92,10 +107,13 @@ func run() error {
 	if *pseudo {
 		mode = "fixed wiring (Corollary 5, oblivious adversary)"
 	}
-	fmt.Printf("pulling model on A(%d,%d), faults %v, adversary equivocate, %s\n",
+	if dist.Sharded() {
+		fmt.Fprintln(out, "(shard slice only: rows cover this shard's trials; -merge reassembles the sweep)")
+	}
+	fmt.Fprintf(out, "pulling model on A(%d,%d), faults %v, adversary equivocate, %s\n",
 		top.N(), top.F(), faulty, mode)
-	fmt.Printf("deterministic broadcast embedding reference: %d pulls/round/node\n\n", top.N()-1)
-	fmt.Printf("%-10s %-14s %-12s %-14s %-16s %-14s\n",
+	fmt.Fprintf(out, "deterministic broadcast embedding reference: %d pulls/round/node\n\n", top.N()-1)
+	fmt.Fprintf(out, "%-10s %-14s %-12s %-14s %-16s %-14s\n",
 		"M", "pulls/round", "bits/round", "stabilised", "mean T", "violations")
 
 	printRow := func(name, label string) error {
@@ -104,7 +122,7 @@ func run() error {
 			return fmt.Errorf("missing campaign scenario %q", name)
 		}
 		st := sc.Stats
-		fmt.Printf("%-10s %-14d %-12d %-14s %-16.0f %-14d\n",
+		fmt.Fprintf(out, "%-10s %-14d %-12d %-14s %-16.0f %-14d\n",
 			label, st.MaxPulls, st.BitsPerRound,
 			fmt.Sprintf("%d/%d", st.Stabilised, st.Trials), st.MeanTime, st.Violations)
 		return nil
@@ -119,9 +137,9 @@ func run() error {
 		}
 	}
 
-	fmt.Println()
-	fmt.Println("arithmetic at scale (pulls/round/node, sampled vs broadcast, k = 4 blocks):")
-	fmt.Printf("%-10s %-12s %-14s %-14s\n", "N", "broadcast", "sampled M=24", "sampled M=48")
+	fmt.Fprintln(out)
+	fmt.Fprintln(out, "arithmetic at scale (pulls/round/node, sampled vs broadcast, k = 4 blocks):")
+	fmt.Fprintf(out, "%-10s %-12s %-14s %-14s\n", "N", "broadcast", "sampled M=24", "sampled M=48")
 	for depth := 2; depth <= 6; depth++ {
 		p, err := synchcount.PlanFixedK(4, depth, 8)
 		if err != nil {
@@ -133,22 +151,11 @@ func run() error {
 		}
 		n := st.N / 4 // block size at the top level
 		pulls := func(m int) int { return (n - 1) + 4*m + m + 1 }
-		fmt.Printf("%-10d %-12d %-14d %-14d\n", st.N, st.N-1, pulls(24), pulls(48))
+		fmt.Fprintf(out, "%-10d %-12d %-14d %-14d\n", st.N, st.N-1, pulls(24), pulls(48))
 	}
-	fmt.Println("(top-level sampling wins once N >> (k+1)M; the paper's full O(k·M·levels)")
-	fmt.Println("budget additionally samples inside blocks at every recursion level)")
+	fmt.Fprintln(out, "(top-level sampling wins once N >> (k+1)M; the paper's full O(k·M·levels)")
+	fmt.Fprintln(out, "budget additionally samples inside blocks at every recursion level)")
 
-	if *jsonPath != "" {
-		if err := result.WriteJSONFile(*jsonPath); err != nil {
-			return err
-		}
-		fmt.Printf("\njson: wrote %s\n", *jsonPath)
-	}
-	if *csvPath != "" {
-		if err := result.WriteCSVFile(*csvPath); err != nil {
-			return err
-		}
-		fmt.Printf("\ncsv: wrote %s\n", *csvPath)
-	}
-	return nil
+	fmt.Fprintln(out)
+	return dist.WriteExports(result, *jsonPath, *csvPath)
 }

@@ -19,10 +19,16 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"github.com/synchcount/synchcount"
+	"github.com/synchcount/synchcount/internal/campaigncli"
 )
+
+// out carries the human-readable report; it moves to stderr when
+// `-ndjson -` claims stdout for the machine-readable stream.
+var out io.Writer = os.Stdout
 
 func main() {
 	if err := run(); err != nil {
@@ -44,12 +50,18 @@ type measuredRow struct {
 
 func run() error {
 	var (
-		trials  = flag.Int("trials", 10, "simulation trials per measured row")
-		seed    = flag.Int64("seed", 1, "base seed")
-		workers = flag.Int("workers", 0, "concurrent trials (0 = GOMAXPROCS)")
-		scaling = flag.Bool("scaling", false, "also print the Theorem 2 resilience-scaling series (E6)")
+		trials   = flag.Int("trials", 10, "simulation trials per measured row")
+		seed     = flag.Int64("seed", 1, "base seed")
+		workers  = flag.Int("workers", 0, "concurrent trials (0 = GOMAXPROCS)")
+		scaling  = flag.Bool("scaling", false, "also print the Theorem 2 resilience-scaling series (E6)")
+		jsonPath = flag.String("json", "", "write the campaign result as JSON to this file (required per shard when sharding)")
 	)
+	dist := campaigncli.Register(flag.CommandLine)
 	flag.Parse()
+	out = dist.HumanOut()
+	if err := dist.CheckShardExport(*jsonPath); err != nil {
+		return err
+	}
 
 	randomRows := []struct {
 		label  string
@@ -98,9 +110,23 @@ func run() error {
 	for _, r := range rows {
 		campaign.Scenarios = append(campaign.Scenarios, r.scenario)
 	}
-	result, err := synchcount.RunCampaign(context.Background(), campaign)
+	// The measured rows fill from a freshly run campaign, a shard of
+	// one, or a merge of shard results — the table renders the same
+	// way; sharded runs cover only their slice's trials.
+	var result *synchcount.CampaignResult
+	if dist.MergeMode() {
+		result, err = dist.Merge()
+	} else {
+		result, err = dist.Run(context.Background(), campaign)
+	}
 	if err != nil {
 		return err
+	}
+	if err := dist.WriteExports(result, *jsonPath, ""); err != nil {
+		return err
+	}
+	if dist.Sharded() {
+		fmt.Fprintf(out, "(shard slice only: measured columns cover this shard's trials; -merge reassembles)\n\n")
 	}
 	printRow := func(label string) error {
 		for _, r := range rows {
@@ -112,7 +138,7 @@ func run() error {
 				return fmt.Errorf("missing campaign scenario %q", r.scenario.Name)
 			}
 			st := sc.Stats
-			fmt.Printf("%-34s %-12s %-22s %-12d %-6s  %s\n",
+			fmt.Fprintf(out, "%-34s %-12s %-22s %-12d %-6s  %s\n",
 				r.label, r.resil,
 				fmt.Sprintf("mean %.0f max %d", st.MeanTime, st.MaxTime),
 				r.stateBits, r.det, r.suffix(st))
@@ -121,10 +147,10 @@ func run() error {
 		return fmt.Errorf("unknown measured row %q", label)
 	}
 
-	fmt.Println("Table 1 — synchronous 2-counting algorithms: paper vs measured")
-	fmt.Println()
-	fmt.Printf("%-34s %-12s %-22s %-12s %-6s\n", "algorithm", "resilience", "stabilisation time", "state bits", "det.")
-	fmt.Printf("%-34s %-12s %-22s %-12s %-6s\n", "---------", "----------", "------------------", "----------", "----")
+	fmt.Fprintln(out, "Table 1 — synchronous 2-counting algorithms: paper vs measured")
+	fmt.Fprintln(out)
+	fmt.Fprintf(out, "%-34s %-12s %-22s %-12s %-6s\n", "algorithm", "resilience", "stabilisation time", "state bits", "det.")
+	fmt.Fprintf(out, "%-34s %-12s %-22s %-12s %-6s\n", "---------", "----------", "------------------", "----------", "----")
 
 	for _, r := range randomRows {
 		if err := printRow(r.label); err != nil {
@@ -134,28 +160,28 @@ func run() error {
 
 	// Rows: computer-designed [5] — paper values; plus our exact negative
 	// synthesis result for the anonymous class.
-	fmt.Printf("%-34s %-12s %-22s %-12s %-6s  (paper value; artefact unpublished)\n",
+	fmt.Fprintf(out, "%-34s %-12s %-22s %-12s %-6s  (paper value; artefact unpublished)\n",
 		"computer designed [5] (n>=4,f=1)", "f=1", "7", "2", "yes")
-	fmt.Printf("%-34s %-12s %-22s %-12s %-6s  (paper value; artefact unpublished)\n",
+	fmt.Fprintf(out, "%-34s %-12s %-22s %-12s %-6s  (paper value; artefact unpublished)\n",
 		"computer designed [5] (n>=6,f=1)", "f=1", "6", "1", "yes")
-	fmt.Printf("%-34s %-12s %-22s %-12s %-6s  (paper value; artefact unpublished)\n",
+	fmt.Fprintf(out, "%-34s %-12s %-22s %-12s %-6s  (paper value; artefact unpublished)\n",
 		"computer designed [5] (n>=6,f=1)", "f=1", "3", "2", "yes")
 	found, err := synchcount.Synthesise(6, 1, synchcount.SynthOptions{Limit: 1})
 	if err != nil {
 		return err
 	}
 	if len(found) == 0 {
-		fmt.Printf("%-34s %-12s %-22s %-12s %-6s  (exact: exhaustively model-checked here)\n",
+		fmt.Fprintf(out, "%-34s %-12s %-22s %-12s %-6s  (exact: exhaustively model-checked here)\n",
 			"  anonymous 1-bit class (n=6,f=1)", "f=1", "no algorithm exists", "1", "-")
 	} else {
-		fmt.Printf("%-34s %-12s %-22s %-12s %-6s  (synthesised here!)\n",
+		fmt.Fprintf(out, "%-34s %-12s %-22s %-12s %-6s  (synthesised here!)\n",
 			"  anonymous 1-bit (n=6,f=1)", "f=1", fmt.Sprint(found[0].WorstTime), "1", "yes")
 	}
 
 	// Row: Dolev-Hoch [2] — paper values only (no published artefact; a
 	// faithful reconstruction of the pipelined consensus stack is out of
 	// scope — see DESIGN.md).
-	fmt.Printf("%-34s %-12s %-22s %-12s %-6s  (paper value; not reimplemented)\n",
+	fmt.Fprintf(out, "%-34s %-12s %-22s %-12s %-6s  (paper value; not reimplemented)\n",
 		"consensus stack [2]", "f<n/3", "O(f)", "O(f log f)", "yes")
 
 	if err := printRow("Corollary 1 (n=4,f=1)"); err != nil {
@@ -168,7 +194,7 @@ func run() error {
 	}
 
 	if *scaling {
-		fmt.Println()
+		fmt.Fprintln(out)
 		if err := printScaling(); err != nil {
 			return err
 		}
@@ -288,8 +314,8 @@ func boostedRow(trials int, seed int64, label string, levels int) (measuredRow, 
 // bits across recursion depths of the fixed-k construction, showing
 // T = O(f) and S = O(log^2 f) growth.
 func printScaling() error {
-	fmt.Println("Theorem 2 scaling (k = 4): resilience vs predicted time and space")
-	fmt.Printf("%-8s %-8s %-8s %-14s %-12s %-10s\n", "depth", "N", "F", "time bound", "bound/F", "state bits")
+	fmt.Fprintln(out, "Theorem 2 scaling (k = 4): resilience vs predicted time and space")
+	fmt.Fprintf(out, "%-8s %-8s %-8s %-14s %-12s %-10s\n", "depth", "N", "F", "time bound", "bound/F", "state bits")
 	for depth := 1; depth <= 6; depth++ {
 		p, err := synchcount.PlanFixedK(4, depth, 2)
 		if err != nil {
@@ -299,9 +325,9 @@ func printScaling() error {
 		if err != nil {
 			return err
 		}
-		fmt.Printf("%-8d %-8d %-8d %-14d %-12.0f %-10d\n",
+		fmt.Fprintf(out, "%-8d %-8d %-8d %-14d %-12.0f %-10d\n",
 			depth, st.N, st.F, st.TimeBound, float64(st.TimeBound)/float64(st.F), st.StateBits)
 	}
-	fmt.Println("(bound/F flattening = linear-in-f stabilisation; bits growing ~log^2 f)")
+	fmt.Fprintln(out, "(bound/F flattening = linear-in-f stabilisation; bits growing ~log^2 f)")
 	return nil
 }

@@ -1,0 +1,252 @@
+// Package campaigncli is the shared command-line wiring for the
+// campaign distribution flags every campaign-driven command exposes:
+//
+//	-shard I/K   run only shard I of a K-way split of the trial grid
+//	-ndjson F    stream per-trial records as NDJSON to F ('-' = stdout)
+//	-merge A,B   skip running; merge shard result JSON files instead
+//
+// A grid too big for one process runs as K processes with identical
+// flags plus distinct -shard values, each writing its partial result
+// with -json; a final -merge invocation reassembles them into output
+// byte-identical to the unsharded run.
+package campaigncli
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"github.com/synchcount/synchcount/internal/harness"
+)
+
+// Options holds the parsed distribution flags.
+type Options struct {
+	shard  string
+	ndjson string
+	merge  string
+}
+
+// Register installs -shard, -ndjson and -merge on fs (typically
+// flag.CommandLine, before flag.Parse).
+func Register(fs *flag.FlagSet) *Options {
+	o := &Options{}
+	fs.StringVar(&o.shard, "shard", "",
+		"run only shard I/K of the campaign's trials (e.g. 0/2); write each shard with -json and reassemble with -merge")
+	fs.StringVar(&o.ndjson, "ndjson", "",
+		"stream per-trial records as NDJSON to this file ('-' = stdout)")
+	fs.StringVar(&o.merge, "merge", "",
+		"skip running: merge these comma-separated shard result JSON files and report/export the reassembled campaign")
+	return o
+}
+
+// MergeMode reports whether -merge was given, in which case the
+// command must call Merge instead of Run and skip campaign execution.
+func (o *Options) MergeMode() bool { return o.merge != "" }
+
+// Sharded reports whether -shard was given, in which case the result
+// covers only part of the trial grid and per-trial printouts should be
+// guarded.
+func (o *Options) Sharded() bool { return o.shard != "" }
+
+// HumanOut is where a command's human-readable report belongs: stderr
+// when `-ndjson -` claims stdout for the machine-readable stream (so
+// piping into an NDJSON consumer never sees summary lines), stdout
+// otherwise.
+func (o *Options) HumanOut() io.Writer {
+	if o.ndjson == "-" {
+		return os.Stderr
+	}
+	return os.Stdout
+}
+
+// CheckShardExport rejects a sharded run that would discard its
+// results: a shard's trial records exist only in its exports, so
+// -shard without -ndjson or one of the command's export flags (paths,
+// usually -json/-csv) runs for nothing.
+func (o *Options) CheckShardExport(paths ...string) error {
+	if o.shard == "" || o.ndjson != "" {
+		return nil
+	}
+	for _, p := range paths {
+		if p != "" {
+			return nil
+		}
+	}
+	return errors.New("-shard produces a partial result that exists only in its exports: write it with -json (reassembled later via -merge) or -ndjson")
+}
+
+// MergeAndReport merges the -merge shard results, prints the shared
+// summary to the command's human output, and writes the requested
+// exports — the whole merge-mode body shared by the campaign commands.
+func (o *Options) MergeAndReport(jsonPath, csvPath string) error {
+	result, err := o.Merge()
+	if err != nil {
+		return err
+	}
+	Summary(o.HumanOut(), result)
+	return o.WriteExports(result, jsonPath, csvPath)
+}
+
+// WriteExports writes the optional JSON/CSV exports of a result and
+// announces each on the human output — the one place the commands'
+// export-and-report sequence lives.
+func (o *Options) WriteExports(res *harness.Result, jsonPath, csvPath string) error {
+	out := o.HumanOut()
+	if jsonPath != "" {
+		if err := res.WriteJSONFile(jsonPath); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "json: wrote %s\n", jsonPath)
+	}
+	if csvPath != "" {
+		if err := res.WriteCSVFile(csvPath); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "csv: wrote %s\n", csvPath)
+	}
+	return nil
+}
+
+// Merge loads the -merge shard result files and reassembles them. When
+// -ndjson is also set, the merged campaign's NDJSON export is written
+// too (in run mode the stream is written live instead).
+func (o *Options) Merge() (*harness.Result, error) {
+	if o.shard != "" {
+		return nil, errors.New("-merge and -shard are mutually exclusive")
+	}
+	var parts []*harness.Result
+	for _, path := range strings.Split(o.merge, ",") {
+		path = strings.TrimSpace(path)
+		if path == "" {
+			continue
+		}
+		res, err := harness.ReadJSONFile(path)
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, res)
+	}
+	merged, err := harness.Merge(parts...)
+	if err != nil {
+		return nil, err
+	}
+	if o.ndjson != "" {
+		if err := o.withNDJSON(func(sink harness.Sink) error {
+			return merged.Replay(sink)
+		}); err != nil {
+			return nil, err
+		}
+	}
+	return merged, nil
+}
+
+// Run executes the campaign honouring -shard and -ndjson: the full
+// grid or just the pinned shard, with per-trial records streamed live
+// to the NDJSON sink while an in-memory collector aggregates the
+// returned result.
+func (o *Options) Run(ctx context.Context, c harness.Campaign) (*harness.Result, error) {
+	if o.merge != "" {
+		return nil, errors.New("-merge set: call Merge, not Run")
+	}
+	// Resolve the shard slice before touching any output file: a bad
+	// -shard value must error out without truncating an existing
+	// -ndjson export.
+	var spec *harness.ShardSpec
+	if o.shard != "" {
+		index, count, err := parseShard(o.shard)
+		if err != nil {
+			return nil, err
+		}
+		s, err := c.Shard(index, count)
+		if err != nil {
+			return nil, err
+		}
+		spec = &s
+	}
+	col := harness.NewCollector()
+	stream := func(sinks ...harness.Sink) error {
+		if spec != nil {
+			return c.StreamShard(ctx, *spec, sinks...)
+		}
+		return c.Stream(ctx, sinks...)
+	}
+	var err error
+	if o.ndjson == "" {
+		err = stream(col)
+	} else {
+		err = o.withNDJSON(func(sink harness.Sink) error {
+			return stream(col, sink)
+		})
+	}
+	if err != nil {
+		return nil, err
+	}
+	return col.Result(), nil
+}
+
+// withNDJSON opens the -ndjson destination, runs fn with a sink on it,
+// and flushes/closes, reporting the first error.
+func (o *Options) withNDJSON(fn func(harness.Sink) error) error {
+	if o.ndjson == "-" {
+		w := bufio.NewWriter(os.Stdout)
+		if err := fn(harness.NDJSONSink(w)); err != nil {
+			w.Flush()
+			return err
+		}
+		return w.Flush()
+	}
+	f, err := os.Create(o.ndjson)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	if err := fn(harness.NDJSONSink(w)); err != nil {
+		f.Close()
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// parseShard parses "I/K" with 0 <= I < K.
+func parseShard(s string) (index, count int, err error) {
+	i, k, ok := strings.Cut(s, "/")
+	if ok {
+		index, err = strconv.Atoi(i)
+		if err == nil {
+			count, err = strconv.Atoi(k)
+		}
+	}
+	if !ok || err != nil {
+		return 0, 0, fmt.Errorf("bad -shard %q: want I/K, e.g. 0/2", s)
+	}
+	if count <= 0 || index < 0 || index >= count {
+		return 0, 0, fmt.Errorf("bad -shard %q: want 0 <= I < K", s)
+	}
+	return index, count, nil
+}
+
+// Summary prints a compact per-scenario overview of a (possibly
+// partial or merged) campaign result — the shared report for merge
+// mode, where the command's usual run-time context is absent.
+func Summary(w io.Writer, res *harness.Result) {
+	fmt.Fprintf(w, "campaign    : %s (seed %d)\n", res.Campaign, res.Seed)
+	for _, sc := range res.Scenarios {
+		st := sc.Stats
+		if st.Trials == 0 {
+			fmt.Fprintf(w, "  %-28s no trials in this slice\n", sc.Name)
+			continue
+		}
+		fmt.Fprintf(w, "  %-28s %d/%d stabilised, T mean %.1f / median %.1f / p95 %.1f / max %d\n",
+			sc.Name, st.Stabilised, st.Trials, st.MeanTime, st.MedianTime, st.P95Time, st.MaxTime)
+	}
+}

@@ -1,0 +1,180 @@
+package campaigncli
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/synchcount/synchcount/internal/harness"
+)
+
+func testCampaign() harness.Campaign {
+	return harness.Campaign{
+		Name: "cli",
+		Seed: 5,
+		Scenarios: []harness.Scenario{{
+			Name:   "s",
+			Trials: 4,
+			Run: func(_ context.Context, _ int, seed int64) (harness.Observation, error) {
+				return harness.Observation{Stabilised: true, StabilisationTime: uint64(seed % 10)}, nil
+			},
+		}},
+	}
+}
+
+func TestParseShard(t *testing.T) {
+	for _, tc := range []struct {
+		in    string
+		i, k  int
+		valid bool
+	}{
+		{"0/2", 0, 2, true},
+		{"1/2", 1, 2, true},
+		{"7/100", 7, 100, true},
+		{"2/2", 0, 0, false},
+		{"-1/2", 0, 0, false},
+		{"0/0", 0, 0, false},
+		{"1", 0, 0, false},
+		{"a/b", 0, 0, false},
+		{"0/2/3", 0, 0, false},
+		{"", 0, 0, false},
+	} {
+		i, k, err := parseShard(tc.in)
+		if tc.valid != (err == nil) {
+			t.Errorf("parseShard(%q) err = %v, want valid=%v", tc.in, err, tc.valid)
+			continue
+		}
+		if tc.valid && (i != tc.i || k != tc.k) {
+			t.Errorf("parseShard(%q) = %d/%d, want %d/%d", tc.in, i, k, tc.i, tc.k)
+		}
+	}
+}
+
+func TestCheckShardExport(t *testing.T) {
+	if err := (&Options{shard: "0/2"}).CheckShardExport("", ""); err == nil {
+		t.Error("sharded run with no exports was accepted")
+	}
+	for _, o := range []*Options{
+		{shard: "0/2", ndjson: "x.ndjson"},
+		{shard: "0/2"},
+		{},
+	} {
+		paths := []string{"out.json"}
+		if o.shard != "" && o.ndjson != "" {
+			paths = nil
+		}
+		if err := o.CheckShardExport(paths...); err != nil {
+			t.Errorf("%+v with exports %v rejected: %v", o, paths, err)
+		}
+	}
+}
+
+// TestBadShardDoesNotTruncateNDJSON pins the regression where an
+// invalid -shard value truncated a pre-existing -ndjson export before
+// the flag was validated.
+func TestBadShardDoesNotTruncateNDJSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.ndjson")
+	const precious = "previously exported records\n"
+	if err := os.WriteFile(path, []byte(precious), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	o := &Options{shard: "2/2", ndjson: path}
+	if _, err := o.Run(context.Background(), testCampaign()); err == nil {
+		t.Fatal("invalid shard accepted")
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != precious {
+		t.Fatalf("invalid -shard truncated the existing export: %q", got)
+	}
+}
+
+// TestRunMatchesDirectCampaign checks the flag-driven path produces
+// the same result and live NDJSON as the library API.
+func TestRunMatchesDirectCampaign(t *testing.T) {
+	want, err := testCampaign().Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	ndjson := filepath.Join(dir, "out.ndjson")
+	o := &Options{ndjson: ndjson}
+	got, err := o.Run(context.Background(), testCampaign())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantJSON := filepath.Join(dir, "want.json")
+	gotJSON := filepath.Join(dir, "got.json")
+	wantND := filepath.Join(dir, "want.ndjson")
+	if err := want.WriteJSONFile(wantJSON); err != nil {
+		t.Fatal(err)
+	}
+	if err := got.WriteJSONFile(gotJSON); err != nil {
+		t.Fatal(err)
+	}
+	if err := want.WriteNDJSONFile(wantND); err != nil {
+		t.Fatal(err)
+	}
+	for _, pair := range [][2]string{{wantJSON, gotJSON}, {wantND, ndjson}} {
+		a, err := os.ReadFile(pair[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := os.ReadFile(pair[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(a) != string(b) {
+			t.Fatalf("%s and %s differ", pair[0], pair[1])
+		}
+	}
+}
+
+// TestMergeModeRoundTrip drives shard → files → Merge through Options
+// exactly as two processes plus a merge invocation would.
+func TestMergeModeRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	var paths string
+	for i := 0; i < 2; i++ {
+		o := &Options{shard: "0/2"}
+		if i == 1 {
+			o.shard = "1/2"
+		}
+		res, err := o.Run(context.Background(), testCampaign())
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := filepath.Join(dir, o.shard[:1]+".json")
+		if err := res.WriteJSONFile(p); err != nil {
+			t.Fatal(err)
+		}
+		if paths != "" {
+			paths += ","
+		}
+		paths += p
+	}
+	merged, err := (&Options{merge: paths}).Merge()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := testCampaign().Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := filepath.Join(dir, "a.json")
+	b := filepath.Join(dir, "b.json")
+	if err := want.WriteJSONFile(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := merged.WriteJSONFile(b); err != nil {
+		t.Fatal(err)
+	}
+	x, _ := os.ReadFile(a)
+	y, _ := os.ReadFile(b)
+	if string(x) != string(y) {
+		t.Fatal("merge-mode result differs from the unsharded run")
+	}
+}

@@ -3,6 +3,7 @@ package harness
 import (
 	"encoding/csv"
 	"encoding/json"
+	"fmt"
 	"io"
 	"os"
 	"strconv"
@@ -28,6 +29,106 @@ func (r *Result) WriteJSONFile(path string) error {
 // the file.
 func (r *Result) WriteCSVFile(path string) error {
 	return writeFile(path, r.WriteCSV)
+}
+
+// WriteNDJSON renders one newline-delimited JSON record per trial, in
+// deterministic order — the same bytes a live NDJSONSink streams while
+// the campaign runs, so buffered and streamed exports diff clean.
+func (r *Result) WriteNDJSON(w io.Writer) error {
+	return r.Replay(NDJSONSink(w))
+}
+
+// WriteNDJSONFile writes the NDJSON export to path, creating or
+// truncating the file.
+func (r *Result) WriteNDJSONFile(path string) error {
+	return writeFile(path, r.WriteNDJSON)
+}
+
+// Replay emits the result's trials to the sinks in deterministic order
+// — the bridge from a buffered (or merged) Result back into the
+// streaming world. Sinks implementing CampaignSink receive Begin/End
+// around the records; unlike a live engine stream, a Result does not
+// record the original grid's trial counts, so each ScenarioMeta
+// reports Trials == Owned == the records actually present.
+func (r *Result) Replay(sinks ...Sink) error {
+	meta := CampaignMeta{Campaign: r.Campaign, Seed: r.Seed}
+	for _, sc := range r.Scenarios {
+		meta.Scenarios = append(meta.Scenarios, ScenarioMeta{
+			Name:   sc.Name,
+			Seed:   sc.Seed,
+			Trials: len(sc.Trials),
+			Owned:  len(sc.Trials),
+		})
+	}
+	for _, s := range sinks {
+		if cs, ok := s.(CampaignSink); ok {
+			if err := cs.Begin(meta); err != nil {
+				return err
+			}
+		}
+	}
+	for _, sc := range r.Scenarios {
+		for _, tr := range sc.Trials {
+			rec := TrialRecord{
+				Campaign:     r.Campaign,
+				CampaignSeed: r.Seed,
+				Scenario:     sc.Name,
+				ScenarioSeed: sc.Seed,
+				Trial:        tr,
+			}
+			for _, s := range sinks {
+				if err := s.Emit(rec); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	for _, s := range sinks {
+		if cs, ok := s.(CampaignSink); ok {
+			if err := cs.End(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// ReadJSON decodes a campaign Result from its WriteJSON serialisation.
+// Decoding and re-encoding is lossless, so shard results can round-trip
+// through files on their way to Merge. JSON that decodes but is not a
+// campaign result (a ShardSpec, an unrelated object) is rejected
+// rather than treated as an empty campaign — merging the wrong files
+// must fail loudly, not silently discard the shards' work.
+func ReadJSON(rd io.Reader) (*Result, error) {
+	dec := json.NewDecoder(rd)
+	var res Result
+	if err := dec.Decode(&res); err != nil {
+		return nil, err
+	}
+	if dec.More() {
+		// A concatenation of result files decodes as its first value;
+		// accepting it would silently drop every other shard's trials.
+		return nil, fmt.Errorf("trailing data after the campaign result (concatenated files? pass them as separate merge inputs)")
+	}
+	if len(res.Scenarios) == 0 {
+		return nil, fmt.Errorf("not a campaign result (no scenarios; campaign %q)", res.Campaign)
+	}
+	return &res, nil
+}
+
+// ReadJSONFile reads a campaign Result from a JSON file written by
+// WriteJSONFile.
+func ReadJSONFile(path string) (*Result, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	res, err := ReadJSON(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return res, nil
 }
 
 func writeFile(path string, write func(io.Writer) error) error {

@@ -1,0 +1,149 @@
+package harness
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"unicode/utf8"
+)
+
+// FuzzShardSpec checks the shard-spec interchange format round-trips
+// losslessly: any spec built from fuzzed fields survives JSON
+// serialisation and ParseShardSpec unchanged, and parsing arbitrary
+// bytes never panics.
+func FuzzShardSpec(f *testing.F) {
+	f.Add("countsim", int64(1), 0, 2, "optimal", 0, int64(77), 0, 5, "beta", 1, int64(-3), 2, 9)
+	f.Add("", int64(-1), 3, 4, "α/β", 7, int64(1<<62), 100, 101, "", 0, int64(0), 0, 1)
+	f.Fuzz(func(t *testing.T, campaign string, seed int64, shard, of int,
+		scen0 string, idx0 int, seed0 int64, from0, to0 int,
+		scen1 string, idx1 int, seed1 int64, from1, to1 int) {
+		if !utf8.ValidString(campaign) || !utf8.ValidString(scen0) || !utf8.ValidString(scen1) {
+			// encoding/json coerces invalid UTF-8 to replacement
+			// runes, which is lossy by design.
+			t.Skip()
+		}
+		spec := ShardSpec{
+			Campaign: campaign,
+			Seed:     seed,
+			Shard:    shard,
+			Of:       of,
+			Slices: []ShardSlice{
+				{Scenario: scen0, Index: idx0, Seed: seed0, From: from0, To: to0},
+				{Scenario: scen1, Index: idx1, Seed: seed1, From: from1, To: to1},
+			},
+		}
+		data, err := spec.JSON()
+		if err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+		parsed, err := ParseShardSpec(data)
+		if err != nil {
+			// Invalid specs (bad ranges, duplicate indices, shard out
+			// of range) are rejected — but rejection must name the
+			// problem, not mangle the data.
+			if !strings.Contains(err.Error(), "shard spec") {
+				t.Fatalf("rejection error %q does not identify the spec", err)
+			}
+			return
+		}
+		if !reflect.DeepEqual(spec, parsed) {
+			t.Fatalf("round trip changed the spec\n before: %+v\n after:  %+v", spec, parsed)
+		}
+	})
+}
+
+// FuzzShardSpecParseArbitrary feeds ParseShardSpec raw bytes: it must
+// reject or accept, never panic.
+func FuzzShardSpecParseArbitrary(f *testing.F) {
+	f.Add([]byte(`{"campaign":"x","seed":1,"shard":0,"of":1,"slices":[]}`))
+	f.Add([]byte(`{"shard":-1}`))
+	f.Add([]byte(`not json`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		spec, err := ParseShardSpec(data)
+		if err != nil {
+			return
+		}
+		// Anything accepted must re-serialise and re-parse to itself.
+		out, err := spec.JSON()
+		if err != nil {
+			t.Fatalf("accepted spec failed to marshal: %v", err)
+		}
+		again, err := ParseShardSpec(out)
+		if err != nil {
+			t.Fatalf("accepted spec failed to re-parse: %v", err)
+		}
+		if !reflect.DeepEqual(spec, again) {
+			t.Fatalf("accepted spec is not a fixed point\n before: %+v\n after:  %+v", spec, again)
+		}
+	})
+}
+
+// FuzzMergeResults builds adversarial partial shard results from
+// fuzzed fields and checks Merge never panics, rejects mismatched
+// campaign seeds with an error that says so, and — when it accepts —
+// conserves trial records.
+func FuzzMergeResults(f *testing.F) {
+	f.Add("c", int64(1), int64(1), "s", "s", int64(5), int64(5), 0, 1, uint8(2))
+	f.Add("c", int64(1), int64(2), "s", "t", int64(5), int64(6), 3, 3, uint8(0))
+	f.Add("", int64(-9), int64(-9), "a", "a", int64(0), int64(0), -1, 7, uint8(255))
+	f.Fuzz(func(t *testing.T, campaign string, seedA, seedB int64,
+		scenA, scenB string, baseA, baseB int64, trialA, trialB int, extra uint8) {
+		mk := func(seed int64, scen string, base int64, first, count int) *Result {
+			r := &Result{Campaign: campaign, Seed: seed}
+			sc := ScenarioResult{Name: scen, Seed: base}
+			for i := 0; i < count; i++ {
+				sc.Trials = append(sc.Trials, Trial{
+					Trial: first + i,
+					Seed:  base + int64(i),
+					Observation: Observation{
+						Stabilised:        i%2 == 0,
+						StabilisationTime: uint64(first+i) % 97,
+						RoundsRun:         uint64(i),
+					},
+				})
+			}
+			r.Scenarios = append(r.Scenarios, sc)
+			return r
+		}
+		a := mk(seedA, scenA, baseA, trialA, int(extra%4))
+		b := mk(seedB, scenB, baseB, trialB, int(extra%3))
+		merged, err := Merge(a, b)
+		if seedA != seedB {
+			if err == nil {
+				t.Fatal("mismatched campaign seeds were merged")
+			}
+			if !strings.Contains(err.Error(), "seed") {
+				t.Fatalf("seed-mismatch rejection %q does not mention the seed", err)
+			}
+			return
+		}
+		if err != nil {
+			return // overlapping trials or scenario-seed mismatch: rejection is correct
+		}
+		got := 0
+		for _, sc := range merged.Scenarios {
+			got += len(sc.Trials)
+			if sc.Stats.Trials != len(sc.Trials) {
+				t.Fatalf("scenario %q stats cover %d trials, result holds %d", sc.Name, sc.Stats.Trials, len(sc.Trials))
+			}
+		}
+		want := 0
+		for _, r := range []*Result{a, b} {
+			for _, sc := range r.Scenarios {
+				want += len(sc.Trials)
+			}
+		}
+		if got != want {
+			t.Fatalf("merge conserved %d of %d trial records", got, want)
+		}
+		// Merging must also be re-mergeable with nothing new: a merged
+		// result merged with an empty sibling is a fixed point.
+		again, err := Merge(merged)
+		if err != nil {
+			t.Fatalf("re-merge of a valid merge failed: %v", err)
+		}
+		if !reflect.DeepEqual(merged, again) {
+			t.Fatal("re-merge of a valid merge changed it")
+		}
+	})
+}

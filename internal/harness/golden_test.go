@@ -1,0 +1,126 @@
+package harness
+
+import (
+	"bytes"
+	"context"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden export files under testdata/")
+
+// goldenCampaign is frozen: changing it — or any export encoding —
+// invalidates the files under testdata/, which is exactly the drift
+// these tests exist to catch. Regenerate deliberately with
+// `go test ./internal/harness -run TestGolden -update`.
+func goldenCampaign() Campaign {
+	return Campaign{
+		Name: "golden",
+		Seed: 7,
+		Scenarios: []Scenario{
+			{
+				Name:   "broadcast",
+				Trials: 4,
+				Run: func(_ context.Context, trial int, seed int64) (Observation, error) {
+					return Observation{
+						Stabilised:        seed%3 != 0,
+						StabilisationTime: uint64(seed % 211),
+						RoundsRun:         uint64(seed%211) + 16,
+						Violations:        uint64(trial % 2),
+						MessagesPerRound:  132,
+						BitsPerRound:      uint64(seed % 4096),
+					}, nil
+				},
+			},
+			{
+				Name:   "pulling",
+				Trials: 3,
+				Run: func(_ context.Context, _ int, seed int64) (Observation, error) {
+					return Observation{
+						Stabilised:        true,
+						StabilisationTime: uint64(seed % 64),
+						RoundsRun:         uint64(seed%64) + 8,
+						MaxPulls:          uint64(seed % 33),
+						MeanPulls:         float64(seed%1000) / 3,
+					}, nil
+				},
+			},
+		},
+	}
+}
+
+// TestGoldenExports locks the JSON, CSV and NDJSON export formats to
+// checked-in golden files, so format drift fails CI here instead of
+// breaking downstream plot scripts.
+func TestGoldenExports(t *testing.T) {
+	res, err := goldenCampaign().Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	formats := []struct {
+		file  string
+		write func(*bytes.Buffer) error
+	}{
+		{"golden.json", func(b *bytes.Buffer) error { return res.WriteJSON(b) }},
+		{"golden.csv", func(b *bytes.Buffer) error { return res.WriteCSV(b) }},
+		{"golden.ndjson", func(b *bytes.Buffer) error { return res.WriteNDJSON(b) }},
+	}
+	for _, f := range formats {
+		t.Run(f.file, func(t *testing.T) {
+			var got bytes.Buffer
+			if err := f.write(&got); err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join("testdata", f.file)
+			if *updateGolden {
+				if err := os.WriteFile(path, got.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("%v (run with -update to generate)", err)
+			}
+			if !bytes.Equal(want, got.Bytes()) {
+				t.Fatalf("%s drifted from its golden file\n--- golden ---\n%s\n--- current ---\n%s\n(run with -update if the change is intentional)",
+					f.file, want, got.Bytes())
+			}
+		})
+	}
+}
+
+// TestGoldenJSONReadBack pins the decode side to the same files: the
+// checked-in JSON export must read back into a Result that re-exports
+// byte-identically in all three formats.
+func TestGoldenJSONReadBack(t *testing.T) {
+	if *updateGolden {
+		t.Skip("golden files are being rewritten")
+	}
+	res, err := ReadJSONFile(filepath.Join("testdata", "golden.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []struct {
+		file  string
+		write func(*bytes.Buffer) error
+	}{
+		{"golden.json", func(b *bytes.Buffer) error { return res.WriteJSON(b) }},
+		{"golden.csv", func(b *bytes.Buffer) error { return res.WriteCSV(b) }},
+		{"golden.ndjson", func(b *bytes.Buffer) error { return res.WriteNDJSON(b) }},
+	} {
+		var got bytes.Buffer
+		if err := f.write(&got); err != nil {
+			t.Fatal(err)
+		}
+		want, err := os.ReadFile(filepath.Join("testdata", f.file))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(want, got.Bytes()) {
+			t.Fatalf("re-export of decoded golden.json does not match %s", f.file)
+		}
+	}
+}

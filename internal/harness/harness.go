@@ -9,6 +9,16 @@
 // count), honours context cancellation mid-campaign, and aggregates
 // per-scenario statistics including median/p95/p99 stabilisation times.
 //
+// The engine core streams: completed trials are re-serialised into
+// deterministic order and delivered to Sinks (per-trial callbacks,
+// NDJSON writers, the buffering Collector behind Run), holding at most
+// a bounded reorder window in memory — million-trial campaigns run in
+// memory independent of the trial count and can be tailed live. The
+// trial grid also shards: a ShardSpec (JSON-serialisable) pins a slice
+// of the grid to run in another process or on another machine, and
+// Merge reassembles shard Results byte-identically to the unsharded
+// run, because trial seeds depend only on grid position.
+//
 // The package is deliberately model-agnostic: a Scenario is just a
 // TrialFunc returning an Observation, so the broadcast simulator
 // (internal/sim), the pulling-model simulator (internal/pull) and any
@@ -147,58 +157,112 @@ func scenarioSeed(campaignSeed int64, i int) int64 {
 	return int64(z >> 1) // keep seeds non-negative like rand.Int63
 }
 
-// trialSeeds derives the per-trial seeds of a scenario: sequential
-// draws from a math/rand source seeded with the scenario base seed.
-// This matches the historical sim.RunMany derivation exactly, so a
-// single-scenario campaign with a pinned seed reproduces the results
-// the sequential trial loops used to produce.
-func trialSeeds(base int64, trials int) []int64 {
-	seeder := rand.New(rand.NewSource(base))
-	seeds := make([]int64, trials)
-	for i := range seeds {
-		seeds[i] = seeder.Int63()
-	}
-	return seeds
-}
-
 // Run executes the campaign, fanning every trial of every scenario out
-// over the worker pool. The returned Result is fully deterministic in
-// (Campaign definition, Seed): worker scheduling affects wall-clock
-// time only. On error or cancellation the first failure is returned and
-// the remaining trials are abandoned.
+// over the worker pool and buffering everything into a Result (it is
+// Stream with a Collector sink). The returned Result is fully
+// deterministic in (Campaign definition, Seed): worker scheduling
+// affects wall-clock time only. On error or cancellation the first
+// failure is returned and the remaining trials are abandoned.
 func (c Campaign) Run(ctx context.Context) (*Result, error) {
-	if err := c.validate(); err != nil {
+	col := NewCollector()
+	if err := c.stream(ctx, nil, []Sink{col}); err != nil {
 		return nil, err
 	}
-	workers := c.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
+	return col.Result(), nil
+}
 
-	type job struct {
-		scenario int
-		trial    int
-		seed     int64
+// RunShard executes only the campaign slice pinned by spec, buffering
+// it into a Result whose scenarios list the whole grid but whose trial
+// records cover the shard's trial ranges only. Merging the Results of
+// a complete shard split reproduces Run's Result byte for byte.
+func (c Campaign) RunShard(ctx context.Context, spec ShardSpec) (*Result, error) {
+	col := NewCollector()
+	if err := c.stream(ctx, &spec, []Sink{col}); err != nil {
+		return nil, err
 	}
-	var jobs []job
-	res := &Result{Campaign: c.Name, Seed: c.Seed}
-	res.Scenarios = make([]ScenarioResult, len(c.Scenarios))
+	return col.Result(), nil
+}
+
+// Stream executes the campaign, delivering every completed trial to the
+// sinks instead of buffering it. Records are emitted in deterministic
+// order (scenarios in grid order, trials in ascending index order) from
+// a single goroutine, regardless of worker count; the engine holds at
+// most a bounded reorder window of completed records, so campaigns with
+// non-buffering sinks run in memory independent of the trial count.
+func (c Campaign) Stream(ctx context.Context, sinks ...Sink) error {
+	return c.stream(ctx, nil, sinks)
+}
+
+// StreamShard is Stream restricted to the campaign slice pinned by
+// spec.
+func (c Campaign) StreamShard(ctx context.Context, spec ShardSpec, sinks ...Sink) error {
+	return c.stream(ctx, &spec, sinks)
+}
+
+// scenarioMetas resolves every scenario's base seed and full trial
+// count in grid order.
+func (c Campaign) scenarioMetas() []ScenarioMeta {
+	metas := make([]ScenarioMeta, len(c.Scenarios))
 	for si, s := range c.Scenarios {
 		base := scenarioSeed(c.Seed, si)
 		if s.Seed != nil {
 			base = *s.Seed
 		}
-		res.Scenarios[si] = ScenarioResult{
-			Name:   s.Name,
-			Seed:   base,
-			Trials: make([]Trial, s.Trials),
+		metas[si] = ScenarioMeta{Name: s.Name, Seed: base, Trials: s.Trials, Owned: s.Trials}
+	}
+	return metas
+}
+
+// stream is the engine core shared by Run, RunShard, Stream and
+// StreamShard: a worker pool racing through the (possibly sharded) job
+// list, and a collector goroutine re-serialising completions into
+// deterministic order before fanning them out to the sinks. A
+// semaphore sized reorderWindow(workers) bounds how far completion may
+// run ahead of emission, which bounds the engine's memory use.
+func (c Campaign) stream(ctx context.Context, shard *ShardSpec, sinks []Sink) error {
+	if err := c.validate(); err != nil {
+		return err
+	}
+	metas := c.scenarioMetas()
+	owns := func(si, ti int) bool { return true }
+	if shard != nil {
+		if err := shard.validateFor(c, metas); err != nil {
+			return err
 		}
-		for ti, seed := range trialSeeds(base, s.Trials) {
-			jobs = append(jobs, job{scenario: si, trial: ti, seed: seed})
+		ranges := make(map[int]ShardSlice, len(shard.Slices))
+		for _, sl := range shard.Slices {
+			ranges[sl.Index] = sl
+		}
+		for si := range metas {
+			sl := ranges[si] // absent => zero range => owns nothing
+			metas[si].Owned = sl.To - sl.From
+		}
+		owns = func(si, ti int) bool {
+			sl, ok := ranges[si]
+			return ok && ti >= sl.From && ti < sl.To
 		}
 	}
-	if workers > len(jobs) {
-		workers = len(jobs)
+
+	totalOwned := 0
+	for _, m := range metas {
+		totalOwned += m.Owned
+	}
+
+	meta := CampaignMeta{Campaign: c.Name, Seed: c.Seed, Shard: shard, Scenarios: metas}
+	for _, s := range sinks {
+		if cs, ok := s.(CampaignSink); ok {
+			if err := cs.Begin(meta); err != nil {
+				return fmt.Errorf("harness: sink: %w", err)
+			}
+		}
+	}
+
+	workers := c.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > totalOwned {
+		workers = totalOwned
 	}
 
 	ctx, cancel := context.WithCancel(ctx)
@@ -215,12 +279,26 @@ func (c Campaign) Run(ctx context.Context) (*Result, error) {
 			cancel()
 		})
 	}
-	ch := make(chan job)
+
+	type job struct {
+		scenario int
+		trial    int
+		order    int
+		seed     int64
+	}
+	type completion struct {
+		order int
+		rec   TrialRecord
+	}
+	jobCh := make(chan job)
+	completed := make(chan completion)
+	slots := make(chan struct{}, reorderWindow(workers))
+
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for j := range ch {
+			for j := range jobCh {
 				if ctx.Err() != nil {
 					return
 				}
@@ -234,34 +312,116 @@ func (c Campaign) Run(ctx context.Context) (*Result, error) {
 					}
 					return
 				}
-				res.Scenarios[j.scenario].Trials[j.trial] = Trial{
-					Trial:       j.trial,
-					Seed:        j.seed,
-					Observation: obs,
+				rec := TrialRecord{
+					Campaign:     c.Name,
+					CampaignSeed: c.Seed,
+					Scenario:     s.Name,
+					ScenarioSeed: metas[j.scenario].Seed,
+					Trial:        Trial{Trial: j.trial, Seed: j.seed, Observation: obs},
+				}
+				select {
+				case completed <- completion{order: j.order, rec: rec}:
+				case <-ctx.Done():
+					return
 				}
 			}
 		}()
 	}
-feed:
-	for _, j := range jobs {
-		select {
-		case ch <- j:
-		case <-ctx.Done():
-			break feed
+
+	// Feeder: jobs are generated lazily — the seed stream is sequential
+	// per scenario (draws from a math/rand source seeded with the
+	// scenario base seed, matching the historical sim.RunMany
+	// derivation exactly), so no per-trial state exists before a trial
+	// is dispatched and campaign memory stays a function of the worker
+	// count and scenario count, never of the trial count. Unowned trial
+	// indices still draw from the seeder to keep every seed a pure
+	// function of grid position. One reorder-window slot is acquired
+	// per job, so completion can never run more than the window ahead
+	// of in-order emission.
+	go func() {
+		defer close(jobCh)
+		order := 0
+		for si, s := range c.Scenarios {
+			if metas[si].Owned == 0 {
+				continue
+			}
+			seeder := rand.New(rand.NewSource(metas[si].Seed))
+			for ti := 0; ti < s.Trials; ti++ {
+				seed := seeder.Int63()
+				if !owns(si, ti) {
+					continue
+				}
+				j := job{scenario: si, trial: ti, order: order, seed: seed}
+				order++
+				select {
+				case slots <- struct{}{}:
+				case <-ctx.Done():
+					return
+				}
+				select {
+				case jobCh <- j:
+				case <-ctx.Done():
+					return
+				}
+			}
+		}
+	}()
+	go func() {
+		wg.Wait()
+		close(completed)
+	}()
+
+	// Collector: re-serialise completions into job order and emit. A
+	// failed trial never delivers its order index, so emission stops at
+	// the gap naturally; pending records behind a failure are dropped.
+	pending := make(map[int]TrialRecord, cap(slots))
+	next := 0
+	dead := false
+	for cm := range completed {
+		pending[cm.order] = cm.rec
+		for !dead {
+			rec, ok := pending[next]
+			if !ok {
+				break
+			}
+			delete(pending, next)
+			for _, s := range sinks {
+				if err := s.Emit(rec); err != nil {
+					fail(fmt.Errorf("harness: sink: %w", err))
+					dead = true
+					break
+				}
+			}
+			next++
+			<-slots
 		}
 	}
-	close(ch)
-	wg.Wait()
 	if firstErr != nil {
-		return nil, firstErr
+		return firstErr
 	}
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		return err
 	}
-	for si := range res.Scenarios {
-		res.Scenarios[si].Stats = Aggregate(res.Scenarios[si].Trials)
+	for _, s := range sinks {
+		if cs, ok := s.(CampaignSink); ok {
+			if err := cs.End(); err != nil {
+				return fmt.Errorf("harness: sink: %w", err)
+			}
+		}
 	}
-	return res, nil
+	return nil
+}
+
+// reorderWindow bounds how many completed-but-unemitted trial records
+// the engine holds: enough slack that workers are never starved by
+// one slow trial, small enough that streaming memory stays a function
+// of the worker count, never of the trial count.
+func reorderWindow(workers int) int {
+	w := 4 * workers
+	if w < 16 {
+		w = 16
+	}
+	return w
 }
 
 func (c Campaign) validate() error {

@@ -1,0 +1,68 @@
+package harness
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Merge combines per-shard campaign Results into one. The merge is
+// exact: it concatenates trial records (the same records the unsharded
+// run would have produced, since trial seeds depend only on grid
+// position) and recomputes every statistic from them, so merging a
+// complete shard split reproduces the unsharded Result byte for byte —
+// quantiles included, which no summary-statistics merge could
+// guarantee.
+//
+// All parts must agree on the campaign name and master seed, and on the
+// base seed of every shared scenario; overlapping trial indices are
+// rejected. Partial merges are allowed — merging 2 of 3 shards yields a
+// valid partial Result that can be merged again with the remainder.
+func Merge(parts ...*Result) (*Result, error) {
+	if len(parts) == 0 {
+		return nil, errors.New("harness: merge: no results given")
+	}
+	for i, p := range parts {
+		if p == nil {
+			return nil, fmt.Errorf("harness: merge: result %d is nil", i)
+		}
+	}
+	first := parts[0]
+	merged := &Result{Campaign: first.Campaign, Seed: first.Seed}
+	index := make(map[string]int)
+	for pi, p := range parts {
+		if p.Campaign != first.Campaign {
+			return nil, fmt.Errorf("harness: merge: result %d is campaign %q, result 0 is %q", pi, p.Campaign, first.Campaign)
+		}
+		if p.Seed != first.Seed {
+			return nil, fmt.Errorf("harness: merge: campaign seed mismatch: result %d has seed %d, result 0 has %d", pi, p.Seed, first.Seed)
+		}
+		for _, sc := range p.Scenarios {
+			si, ok := index[sc.Name]
+			if !ok {
+				si = len(merged.Scenarios)
+				merged.Scenarios = append(merged.Scenarios, ScenarioResult{Name: sc.Name, Seed: sc.Seed})
+				index[sc.Name] = si
+			}
+			m := &merged.Scenarios[si]
+			if m.Seed != sc.Seed {
+				return nil, fmt.Errorf("harness: merge: scenario %q base seed mismatch: %d vs %d", sc.Name, m.Seed, sc.Seed)
+			}
+			m.Trials = append(m.Trials, sc.Trials...)
+		}
+	}
+	for si := range merged.Scenarios {
+		m := &merged.Scenarios[si]
+		sort.SliceStable(m.Trials, func(i, j int) bool { return m.Trials[i].Trial < m.Trials[j].Trial })
+		for i := 1; i < len(m.Trials); i++ {
+			if m.Trials[i].Trial == m.Trials[i-1].Trial {
+				return nil, fmt.Errorf("harness: merge: scenario %q: trial %d appears in more than one result", m.Name, m.Trials[i].Trial)
+			}
+		}
+		if m.Trials == nil {
+			m.Trials = make([]Trial, 0)
+		}
+		m.Stats = Aggregate(m.Trials)
+	}
+	return merged, nil
+}

@@ -37,46 +37,150 @@ type Stats struct {
 	BitsPerRound     uint64 `json:"bits_per_round"`
 }
 
-// Aggregate computes scenario statistics from a slice of trials.
+// Aggregate computes scenario statistics from a slice of trials. It is
+// an Aggregator folded over the slice; streaming consumers fold trial
+// by trial instead of materialising the slice.
 func Aggregate(trials []Trial) Stats {
-	st := Stats{Trials: len(trials)}
-	var times []float64
-	var sumT, sumRounds float64
-	for i, tr := range trials {
-		if tr.Stabilised {
-			if st.Stabilised == 0 || tr.StabilisationTime < st.MinTime {
-				st.MinTime = tr.StabilisationTime
-			}
-			if tr.StabilisationTime > st.MaxTime {
-				st.MaxTime = tr.StabilisationTime
-			}
-			st.Stabilised++
-			sumT += float64(tr.StabilisationTime)
-			times = append(times, float64(tr.StabilisationTime))
+	var agg Aggregator
+	for _, tr := range trials {
+		agg.Add(tr.Observation)
+	}
+	// The throwaway accumulator's times may be sorted in place — no
+	// caller sees it again, and the copy Stats makes would double the
+	// cost of aggregating million-trial scenarios.
+	return agg.stats(true)
+}
+
+// Aggregator folds Observations into Stats incrementally, one trial at
+// a time and in any grouping: folding a scenario's trials in one pass
+// and folding each shard's slice then combining the accumulators with
+// Merge produce identical statistics. Counts, sums and extrema fold in
+// O(1) space; the exact quantiles require the stabilisation times
+// themselves, so the accumulator retains 8 bytes per stabilised trial
+// — the irreducible cost of exact percentiles.
+//
+// The zero Aggregator is ready to use. It is not safe for concurrent
+// use; the campaign engine serialises all sink emissions, so a sink
+// folding into one needs no locking.
+type Aggregator struct {
+	trials     int
+	stabilised int
+	minTime    uint64
+	maxTime    uint64
+	sumTime    float64
+	times      []float64
+	minRounds  uint64
+	maxRounds  uint64
+	sumRounds  float64
+	violations uint64
+	maxPulls   uint64
+	messages   uint64
+	bits       uint64
+}
+
+// Add folds one trial's observation into the accumulator.
+func (a *Aggregator) Add(o Observation) {
+	if o.Stabilised {
+		if a.stabilised == 0 || o.StabilisationTime < a.minTime {
+			a.minTime = o.StabilisationTime
 		}
-		if i == 0 || tr.RoundsRun < st.MinRounds {
-			st.MinRounds = tr.RoundsRun
+		if o.StabilisationTime > a.maxTime {
+			a.maxTime = o.StabilisationTime
 		}
-		if tr.RoundsRun > st.MaxRounds {
-			st.MaxRounds = tr.RoundsRun
+		a.stabilised++
+		a.sumTime += float64(o.StabilisationTime)
+		a.times = append(a.times, float64(o.StabilisationTime))
+	}
+	if a.trials == 0 || o.RoundsRun < a.minRounds {
+		a.minRounds = o.RoundsRun
+	}
+	if o.RoundsRun > a.maxRounds {
+		a.maxRounds = o.RoundsRun
+	}
+	a.trials++
+	a.sumRounds += float64(o.RoundsRun)
+	a.violations += o.Violations
+	if o.MaxPulls > a.maxPulls {
+		a.maxPulls = o.MaxPulls
+	}
+	if o.MessagesPerRound > a.messages {
+		a.messages = o.MessagesPerRound
+	}
+	if o.BitsPerRound > a.bits {
+		a.bits = o.BitsPerRound
+	}
+}
+
+// Merge folds another accumulator into a. Counts, extrema and
+// quantiles (which are sorted before use) are exactly those of a
+// single-pass fold; the floating-point sums behind the means are added
+// shard-wise, so they can differ from a single-pass fold in the last
+// ulp. Byte-exact shard reassembly therefore goes through
+// harness.Merge, which re-aggregates from the trial records in
+// canonical order; this method is for live dashboards folding partial
+// streams.
+func (a *Aggregator) Merge(b *Aggregator) {
+	if b.trials == 0 {
+		return
+	}
+	if a.trials == 0 || b.minRounds < a.minRounds {
+		a.minRounds = b.minRounds
+	}
+	if b.maxRounds > a.maxRounds {
+		a.maxRounds = b.maxRounds
+	}
+	if b.stabilised > 0 {
+		if a.stabilised == 0 || b.minTime < a.minTime {
+			a.minTime = b.minTime
 		}
-		sumRounds += float64(tr.RoundsRun)
-		st.Violations += tr.Violations
-		if tr.MaxPulls > st.MaxPulls {
-			st.MaxPulls = tr.MaxPulls
-		}
-		if tr.MessagesPerRound > st.MessagesPerRound {
-			st.MessagesPerRound = tr.MessagesPerRound
-		}
-		if tr.BitsPerRound > st.BitsPerRound {
-			st.BitsPerRound = tr.BitsPerRound
+		if b.maxTime > a.maxTime {
+			a.maxTime = b.maxTime
 		}
 	}
-	if st.Trials > 0 {
-		st.MeanRounds = sumRounds / float64(st.Trials)
+	a.trials += b.trials
+	a.stabilised += b.stabilised
+	a.sumTime += b.sumTime
+	a.times = append(a.times, b.times...)
+	a.sumRounds += b.sumRounds
+	a.violations += b.violations
+	if b.maxPulls > a.maxPulls {
+		a.maxPulls = b.maxPulls
 	}
-	if st.Stabilised > 0 {
-		st.MeanTime = sumT / float64(st.Stabilised)
+	if b.messages > a.messages {
+		a.messages = b.messages
+	}
+	if b.bits > a.bits {
+		a.bits = b.bits
+	}
+}
+
+// Stats finalises the accumulated statistics. The accumulator remains
+// usable — more observations may be added and Stats called again.
+func (a *Aggregator) Stats() Stats { return a.stats(false) }
+
+func (a *Aggregator) stats(sortInPlace bool) Stats {
+	st := Stats{
+		Trials:           a.trials,
+		Stabilised:       a.stabilised,
+		MinTime:          a.minTime,
+		MaxTime:          a.maxTime,
+		MinRounds:        a.minRounds,
+		MaxRounds:        a.maxRounds,
+		Violations:       a.violations,
+		MaxPulls:         a.maxPulls,
+		MessagesPerRound: a.messages,
+		BitsPerRound:     a.bits,
+	}
+	if a.trials > 0 {
+		st.MeanRounds = a.sumRounds / float64(a.trials)
+	}
+	if a.stabilised > 0 {
+		st.MeanTime = a.sumTime / float64(a.stabilised)
+		times := a.times
+		if !sortInPlace {
+			times = make([]float64, len(a.times))
+			copy(times, a.times)
+		}
 		sort.Float64s(times)
 		st.MedianTime = Percentile(times, 50)
 		st.P95Time = Percentile(times, 95)

@@ -1,0 +1,103 @@
+package synchcount
+
+import (
+	"bytes"
+	"context"
+	"testing"
+)
+
+// shardTestCampaign is a real-simulator campaign: the Corollary 1
+// counter under two adversaries, mirroring how countsim -shard slices
+// its grid.
+func shardTestCampaign(t *testing.T, workers int) Campaign {
+	t.Helper()
+	cnt, err := OptimalResilience(1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound, err := StabilisationBound(cnt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := func(adv string) SimConfig {
+		return SimConfig{
+			Alg:       cnt,
+			Faulty:    []int{2},
+			Adv:       MustAdversary(adv),
+			MaxRounds: bound + 128,
+			Window:    64,
+			StopEarly: true,
+		}
+	}
+	return Campaign{
+		Name:    "shard-facade",
+		Seed:    99,
+		Workers: workers,
+		Scenarios: []Scenario{
+			SimScenario("splitvote", cfg("splitvote"), 5),
+			SimScenario("equivocate", cfg("equivocate"), 3),
+		},
+	}
+}
+
+// TestShardedRealCampaignMergesByteIdentically drives the public
+// facade end to end with the actual simulator: a campaign split into 3
+// shards, run independently, and merged must match the unsharded run
+// byte for byte in every export format — and the streaming NDJSON sink
+// must match the buffered NDJSON export.
+func TestShardedRealCampaignMergesByteIdentically(t *testing.T) {
+	ctx := context.Background()
+	full, err := RunCampaign(ctx, shardTestCampaign(t, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wantJSON, wantNDJSON bytes.Buffer
+	if err := full.WriteJSON(&wantJSON); err != nil {
+		t.Fatal(err)
+	}
+	if err := full.WriteNDJSON(&wantNDJSON); err != nil {
+		t.Fatal(err)
+	}
+
+	var streamed bytes.Buffer
+	if err := StreamCampaign(ctx, shardTestCampaign(t, 2), CampaignNDJSONSink(&streamed)); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(wantNDJSON.Bytes(), streamed.Bytes()) {
+		t.Fatal("streamed NDJSON differs from buffered export")
+	}
+
+	const k = 3
+	var parts []*CampaignResult
+	for i := 0; i < k; i++ {
+		spec, err := ShardCampaign(shardTestCampaign(t, 1), i, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := spec.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		spec, err = ParseShardSpec(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := RunCampaignShard(ctx, shardTestCampaign(t, 1), spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parts = append(parts, res)
+	}
+	merged, err := MergeCampaignResults(parts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got bytes.Buffer
+	if err := merged.WriteJSON(&got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(wantJSON.Bytes(), got.Bytes()) {
+		t.Fatalf("3-way sharded merge differs from unsharded run\n--- want ---\n%s\n--- got ---\n%s",
+			wantJSON.String(), got.String())
+	}
+}

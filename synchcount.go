@@ -45,6 +45,7 @@ package synchcount
 import (
 	"context"
 	"fmt"
+	"io"
 
 	"github.com/synchcount/synchcount/internal/adversary"
 	"github.com/synchcount/synchcount/internal/alg"
@@ -98,7 +99,8 @@ func SimulateMany(cfg SimConfig, trials int) (SimStats, error) { return sim.RunM
 
 // Campaign engine (see internal/harness): a grid of scenarios executed
 // concurrently over a worker pool with deterministic per-trial seed
-// derivation, context cancellation and JSON/CSV export.
+// derivation, context cancellation, streaming sinks, cross-process
+// sharding and JSON/CSV/NDJSON export.
 type (
 	// Campaign is a grid of scenarios executed as one parallel batch.
 	Campaign = harness.Campaign
@@ -115,11 +117,69 @@ type (
 	CampaignTrial = harness.Trial
 	// Observation is what one trial measures.
 	Observation = harness.Observation
+	// CampaignSink consumes per-trial records as a campaign streams;
+	// the engine serialises emissions and delivers them in
+	// deterministic order at any worker count.
+	CampaignSink = harness.Sink
+	// CampaignSinkFunc adapts a per-trial callback to a CampaignSink.
+	CampaignSinkFunc = harness.SinkFunc
+	// CampaignTrialRecord is the flat, self-describing streamed form of
+	// one trial (NDJSON line / sink payload).
+	CampaignTrialRecord = harness.TrialRecord
+	// CampaignCollector is the buffering sink behind RunCampaign.
+	CampaignCollector = harness.Collector
+	// ShardSpec pins the slice of a campaign one shard executes; it
+	// serialises to JSON losslessly for cross-process orchestration.
+	ShardSpec = harness.ShardSpec
+	// ShardSlice is one scenario's contiguous trial range in a shard.
+	ShardSlice = harness.ShardSlice
 )
 
-// RunCampaign executes the campaign over its worker pool. Results are
-// deterministic in (campaign definition, seed) at any worker count.
+// RunCampaign executes the campaign over its worker pool, buffering
+// every trial into the result. Results are deterministic in (campaign
+// definition, seed) at any worker count.
 func RunCampaign(ctx context.Context, c Campaign) (*CampaignResult, error) { return c.Run(ctx) }
+
+// StreamCampaign executes the campaign, delivering each completed trial
+// to the sinks in deterministic order instead of buffering: campaigns
+// with non-buffering sinks (NDJSON, callbacks) run in memory
+// independent of the trial count and can be tailed live.
+func StreamCampaign(ctx context.Context, c Campaign, sinks ...CampaignSink) error {
+	return c.Stream(ctx, sinks...)
+}
+
+// ShardCampaign computes shard `index` of a `count`-way split of the
+// campaign's trial grid. Each shard can run in its own process or on
+// its own machine (RunCampaignShard); merging the shard results
+// reproduces the unsharded campaign byte for byte, because trial seeds
+// depend only on grid position.
+func ShardCampaign(c Campaign, index, count int) (ShardSpec, error) { return c.Shard(index, count) }
+
+// RunCampaignShard executes only the campaign slice pinned by spec.
+func RunCampaignShard(ctx context.Context, c Campaign, spec ShardSpec) (*CampaignResult, error) {
+	return c.RunShard(ctx, spec)
+}
+
+// MergeCampaignResults reassembles per-shard campaign results exactly:
+// merging a complete shard split is byte-identical to the unsharded
+// run, quantile statistics included. Partial merges are valid and can
+// be merged again with the remaining shards.
+func MergeCampaignResults(parts ...*CampaignResult) (*CampaignResult, error) {
+	return harness.Merge(parts...)
+}
+
+// ReadCampaignResult reads a campaign result from a JSON file written
+// by CampaignResult.WriteJSONFile — the shard hand-off format.
+func ReadCampaignResult(path string) (*CampaignResult, error) { return harness.ReadJSONFile(path) }
+
+// CampaignNDJSONSink returns a sink streaming one JSON line per trial
+// to w, byte-identical to CampaignResult.WriteNDJSON of the same
+// campaign.
+func CampaignNDJSONSink(w io.Writer) CampaignSink { return harness.NDJSONSink(w) }
+
+// ParseShardSpec decodes and validates a ShardSpec from its JSON
+// interchange form.
+func ParseShardSpec(data []byte) (ShardSpec, error) { return harness.ParseShardSpec(data) }
 
 // SimScenario adapts a broadcast-model SimConfig to a campaign scenario
 // of `trials` trials. The config is shared across concurrent trials and
