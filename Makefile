@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench fuzz-smoke shard-smoke fmt fmt-check vet ci
+.PHONY: build test race bench fuzz-smoke shard-smoke compare-smoke fmt fmt-check vet ci
 
 build:
 	$(GO) build ./...
@@ -21,6 +21,7 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz='^FuzzPackUnpack$$' -fuzztime=10s ./internal/codec
 	$(GO) test -run='^$$' -fuzz='^FuzzStepTotal$$' -fuzztime=10s ./internal/phaseking
 	$(GO) test -run='^$$' -fuzz='^FuzzStepTotal$$' -fuzztime=10s ./internal/boost
+	$(GO) test -run='^$$' -fuzz='^FuzzECountTransition$$' -fuzztime=10s ./internal/ecount
 	$(GO) test -run='^$$' -fuzz='^FuzzShardSpec$$' -fuzztime=10s ./internal/harness
 	$(GO) test -run='^$$' -fuzz='^FuzzShardSpecParseArbitrary$$' -fuzztime=10s ./internal/harness
 	$(GO) test -run='^$$' -fuzz='^FuzzMergeResults$$' -fuzztime=10s ./internal/harness
@@ -39,6 +40,22 @@ shard-smoke:
 	cmp $$tmp/full.ndjson $$tmp/merged.ndjson && \
 	echo "shard-smoke: sharded merge is byte-identical to the unsharded run"
 
+# One compare campaign as two shards in separate processes, merged,
+# and diffed byte-for-byte — JSON, NDJSON and the comparison table —
+# against the unsharded run.
+compare-smoke:
+	@tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	args="-algs ecount,theorem2 -f 1 -c 6 -trials 6 -seed 9"; \
+	$(GO) run ./cmd/compare $$args -json $$tmp/full.json -ndjson $$tmp/full.ndjson -table $$tmp/full.csv && \
+	$(GO) run ./cmd/compare $$args -shard 0/2 -json $$tmp/shard0.json && \
+	$(GO) run ./cmd/compare $$args -shard 1/2 -json $$tmp/shard1.json && \
+	$(GO) run ./cmd/compare $$args -merge $$tmp/shard0.json,$$tmp/shard1.json \
+		-json $$tmp/merged.json -ndjson $$tmp/merged.ndjson -table $$tmp/merged.csv && \
+	cmp $$tmp/full.json $$tmp/merged.json && \
+	cmp $$tmp/full.ndjson $$tmp/merged.ndjson && \
+	cmp $$tmp/full.csv $$tmp/merged.csv && \
+	echo "compare-smoke: sharded compare merge is byte-identical to the unsharded run"
+
 fmt:
 	gofmt -w .
 
@@ -50,4 +67,4 @@ fmt-check:
 vet:
 	$(GO) vet ./...
 
-ci: build vet fmt-check race fuzz-smoke bench shard-smoke
+ci: build vet fmt-check race fuzz-smoke bench shard-smoke compare-smoke

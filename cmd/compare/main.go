@@ -1,0 +1,162 @@
+// Command compare runs head-to-head campaigns between the counter
+// stacks registered in internal/registry — the source paper's
+// Theorem 1/2 recursions, the 1508.02535 silent-consensus stacks and
+// the baselines — over the same (f, adversary, seed) grid, and reports
+// per-algorithm stabilisation-time and state-bit columns.
+//
+// Examples:
+//
+//	compare -algs ecount,theorem2 -f 3 -trials 50
+//	compare -algs ecount,ecount-chain,corollary1 -f 1 -adversaries silent,splitvote,equivocate
+//	compare -algs randagree,randbiased -c 2 -trials 200 -table cmp.csv
+//
+// Large comparisons split across processes or machines and stream,
+// exactly like every other campaign command:
+//
+//	compare -algs ecount,theorem2 -trials 100000 -ndjson -
+//	compare -algs ecount,theorem2 -trials 1000 -shard 0/2 -json s0.json
+//	compare -algs ecount,theorem2 -trials 1000 -shard 1/2 -json s1.json
+//	compare -algs ecount,theorem2 -trials 1000 -merge s0.json,s1.json -json full.json
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"github.com/synchcount/synchcount/internal/campaigncli"
+	"github.com/synchcount/synchcount/internal/harness"
+	"github.com/synchcount/synchcount/internal/registry"
+)
+
+var out io.Writer = os.Stdout
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "compare:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		algsStr   = flag.String("algs", "ecount,ecount-chain,corollary1", "comma-separated registry algorithms: "+strings.Join(registry.Names(), " | "))
+		fsStr     = flag.String("f", "", "comma-separated resiliences to build each algorithm at (empty = spec defaults)")
+		c         = flag.Int("c", 0, "counter modulus (0 = per-spec default; randomised baselines need 2)")
+		advStr    = flag.String("adversaries", "silent,splitvote", "comma-separated Byzantine strategies")
+		faults    = flag.Int("faults", 0, "Byzantine nodes injected per run (0 = each algorithm's declared resilience)")
+		trials    = flag.Int("trials", 10, "independent runs per (algorithm, resilience, adversary) cell")
+		rounds    = flag.Uint64("rounds", 0, "max rounds per run (0 = declared bound + slack, or the spec time budget)")
+		window    = flag.Uint64("window", 0, "stabilisation confirmation window (0 = simulator default)")
+		seed      = flag.Int64("seed", 1, "campaign base seed (all algorithms face the identical trial-seed stream)")
+		workers   = flag.Int("workers", 0, "concurrent trials (0 = GOMAXPROCS)")
+		jsonPath  = flag.String("json", "", "write the campaign result as JSON to this file")
+		csvPath   = flag.String("csv", "", "write per-trial results as CSV to this file")
+		tablePath = flag.String("table", "", "write the per-algorithm comparison table as CSV to this file")
+	)
+	dist := campaigncli.Register(flag.CommandLine)
+	flag.Parse()
+	out = dist.HumanOut()
+
+	spec := registry.CompareSpec{
+		Algs:        splitList(*algsStr),
+		C:           *c,
+		Adversaries: splitList(*advStr),
+		Faults:      *faults,
+		Trials:      *trials,
+		Rounds:      *rounds,
+		Window:      *window,
+		Seed:        *seed,
+		Workers:     *workers,
+	}
+	for _, tok := range splitList(*fsStr) {
+		f, err := strconv.Atoi(tok)
+		if err != nil {
+			return fmt.Errorf("bad -f value %q: %w", tok, err)
+		}
+		spec.Fs = append(spec.Fs, f)
+	}
+
+	// The campaign is resolved even in merge mode: the static cells
+	// (state bits, bounds) come from the builds, and merging results
+	// from a different comparison must fail loudly at the table join.
+	campaign, cells, err := spec.Campaign()
+	if err != nil {
+		return err
+	}
+
+	var result *harness.Result
+	if dist.MergeMode() {
+		result, err = dist.Merge()
+		// The table joins this invocation's cell metadata with the
+		// merged stats; scenario names carry alg/f/c/faults, and the
+		// seed check below closes the remaining labelling gap. A
+		// -rounds mismatch between shard runs cannot be detected from
+		// the result — rerun the shards rather than mixing horizons.
+		if err == nil && result.Seed != spec.Seed {
+			err = fmt.Errorf("merged result was produced with -seed %d, this invocation says -seed %d", result.Seed, spec.Seed)
+		}
+	} else {
+		// -table is deliberately not accepted as the shard export: it
+		// holds aggregates only, which -merge cannot reassemble — a
+		// shard's per-trial records must land in -json/-csv/-ndjson.
+		if err := dist.CheckShardExport(*jsonPath, *csvPath); err != nil {
+			return err
+		}
+		result, err = dist.Run(context.Background(), campaign)
+	}
+	if err != nil {
+		return err
+	}
+
+	rows, err := registry.Table(cells, spec.Adversaries, result)
+	if err != nil {
+		return err
+	}
+	// The header's trial count comes from the flags, which a merged
+	// result need not match (partial merges are legal): merge mode
+	// defers to the per-row counts instead of mislabelling them.
+	if dist.MergeMode() {
+		fmt.Fprintf(out, "compare     : %d algorithm builds x %d adversaries, merged result (seed %d); per-row trial counts below\n",
+			len(cells), len(spec.Adversaries), *seed)
+	} else {
+		fmt.Fprintf(out, "compare     : %d algorithm builds x %d adversaries, %d trials each (seed %d)\n",
+			len(cells), len(spec.Adversaries), *trials, *seed)
+	}
+	if dist.Sharded() {
+		fmt.Fprintf(out, "shard       : partial trial counts below; merge the shard JSONs for campaign totals\n")
+	}
+	if err := registry.FprintTable(out, rows); err != nil {
+		return err
+	}
+	if *tablePath != "" {
+		tf, err := os.Create(*tablePath)
+		if err != nil {
+			return err
+		}
+		if err := registry.WriteTableCSV(tf, rows); err != nil {
+			tf.Close()
+			return err
+		}
+		if err := tf.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "table: wrote %s\n", *tablePath)
+	}
+	return dist.WriteExports(result, *jsonPath, *csvPath)
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, tok := range strings.Split(s, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok != "" {
+			out = append(out, tok)
+		}
+	}
+	return out
+}

@@ -1,0 +1,145 @@
+// Package ecount implements the constructions of the follow-up paper
+//
+//	Christoph Lenzen, Joel Rybicki:
+//	"Efficient Counting with Optimal Resilience" (arXiv:1508.02535)
+//
+// in the (X, g, h) formalism of this repository. Where the source
+// paper's Theorem 1 multiplies stabilisation time by 3(F+2)(2m)^k per
+// resilience-boosting level, the follow-up trades the leader-pointer
+// cycling for consensus: the node set is split into two blocks whose
+// resiliences sum to f-1, so that by pigeonhole at least one block runs
+// within its fault budget; the stabilised block's self-stabilising
+// clock then schedules network-wide *silent consensus* sweeps that
+// establish — and, by silence, preserve — agreement on the output
+// counter. Each level adds only O(f) rounds, which telescopes to O(f)
+// total stabilisation time for the balanced recursion.
+//
+// Two pieces are exported: Consensus, the silent once-consensus
+// building block, and Counter, the derived self-stabilising c-counter
+// (see counter.go).
+//
+// Scope note: the repository's conformance suite (internal/registry)
+// checks the declared bounds empirically against the built-in adversary
+// grid; the worst-case guarantees against a fully adaptive adversary —
+// which need the paper's complete silent-consensus machinery and
+// proofs — are the paper's.
+package ecount
+
+import (
+	"fmt"
+
+	"github.com/synchcount/synchcount/internal/alg"
+	"github.com/synchcount/synchcount/internal/phaseking"
+)
+
+// Consensus is the silent once-consensus building block of the
+// construction: a phase-king sweep of 3(f+2) instructions over n nodes
+// tolerating f < n/3 Byzantine faults, agreeing on a value modulo mod.
+//
+// The sweep runs in the *counting frame*: every instruction increments
+// the register once, so a register holding v at instruction 0 holds
+// v + r (mod mod) at instruction r in an undisturbed execution. This
+// is exactly what the derived counter needs — agreement on a value
+// that advances by one per round — and one-shot consensus on static
+// inputs is recovered by unshifting the frame (Decide).
+//
+// Silence (the property the composition of the paper rests on): when
+// every correct node's register holds the same value with the
+// confidence bit set, no instruction — executed at any index, in any
+// per-node interleaving — changes anything beyond the common
+// increment. A corrupt block scheduling phantom sweeps therefore
+// cannot break agreement once it is established; see
+// TestConsensusSilence.
+type Consensus struct {
+	n, f int
+	mod  uint64
+	cfg  phaseking.Config
+}
+
+// NewConsensus returns the building block for n nodes, f < n/3 faults,
+// agreeing modulo mod >= 2.
+func NewConsensus(n, f int, mod uint64) (*Consensus, error) {
+	if f < 0 {
+		return nil, fmt.Errorf("ecount: negative resilience f = %d", f)
+	}
+	if 3*f >= n {
+		return nil, fmt.Errorf("ecount: consensus requires f < n/3, got n = %d, f = %d", n, f)
+	}
+	if f+2 > n {
+		return nil, fmt.Errorf("ecount: need f+2 <= n king candidates, got n = %d, f = %d", n, f)
+	}
+	if mod < 2 {
+		return nil, fmt.Errorf("ecount: consensus modulus %d < 2", mod)
+	}
+	c := &Consensus{
+		n: n, f: f, mod: mod,
+		cfg: phaseking.Config{
+			C: mod,
+			Thresholds: phaseking.Thresholds{
+				Strong: n - f,
+				Weak:   f,
+			},
+		},
+	}
+	if err := c.cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("ecount: %w", err)
+	}
+	return c, nil
+}
+
+// N returns the number of participating nodes.
+func (c *Consensus) N() int { return c.n }
+
+// F returns the tolerated number of Byzantine faults.
+func (c *Consensus) F() int { return c.f }
+
+// Mod returns the agreement modulus.
+func (c *Consensus) Mod() uint64 { return c.mod }
+
+// Rounds returns the sweep length 3(f+2): three rounds for each of the
+// f+2 king candidates, of which at least two are correct.
+func (c *Consensus) Rounds() uint64 { return 3 * uint64(c.f+2) }
+
+// Init returns registers encoding input v at instruction 0 of the
+// counting frame, with the confidence bit clear.
+func (c *Consensus) Init(v uint64) phaseking.Registers {
+	return phaseking.Registers{A: v % c.mod, D: 0}
+}
+
+// Step executes instruction r (reduced modulo Rounds()) on regs.
+// observed[u] is the register value node u reported this round in
+// encoded form: values in [0, mod) are proposals, anything >= mod is
+// the reset state ⊥. The king of instruction r is node ⌊r/3⌋. The
+// function is pure and total: arbitrary observed values are legal.
+func (c *Consensus) Step(regs phaseking.Registers, r uint64, observed []uint64) phaseking.Registers {
+	r %= c.Rounds()
+	tally := alg.NewTally(len(observed))
+	for _, a := range observed {
+		tally.Add(c.decode(a))
+	}
+	var kingA uint64 = phaseking.Infinity
+	if king := int(phaseking.KingOf(r)); king < len(observed) {
+		kingA = c.decode(observed[king])
+	}
+	return phaseking.Step(c.cfg, regs, r, tally, kingA)
+}
+
+// Decide unshifts the counting frame after a full sweep: a register
+// that ran instructions 0..Rounds()-1 decided the value it would have
+// held at instruction 0. The reset state decides the default 0.
+func (c *Consensus) Decide(regs phaseking.Registers) uint64 {
+	if regs.A == phaseking.Infinity || regs.A >= c.mod {
+		return 0
+	}
+	return (regs.A + c.mod - c.Rounds()%c.mod) % c.mod
+}
+
+// decode maps an encoded register report to the tally key space of
+// internal/phaseking: finite proposals are their own key, everything
+// at or above the modulus is ⊥.
+func (c *Consensus) decode(a uint64) uint64 {
+	if a >= c.mod {
+		return phaseking.Infinity
+	}
+	return a
+}

@@ -1,0 +1,121 @@
+package registry
+
+import (
+	"testing"
+
+	"github.com/synchcount/synchcount/internal/adversary"
+	"github.com/synchcount/synchcount/internal/alg"
+	"github.com/synchcount/synchcount/internal/sim"
+)
+
+// conformanceAdversaries is the fault model every registered algorithm
+// must survive at its declared resilience: crash-like faults (silent)
+// and two genuinely Byzantine strategies.
+var conformanceAdversaries = []string{"silent", "splitvote", "equivocate"}
+
+// conformanceSeeds pins the seeded grid: simulations are deterministic
+// in (config, seed), so this suite locks behaviour rather than
+// sampling it — a regression in any registered construction fails
+// here reproducibly.
+var conformanceSeeds = []int64{1, 2}
+
+// faultPlacements returns the fault sets the suite injects: faults
+// packed at the front, packed at the back, and strided across the
+// ring. For the split-based ecount stacks these respectively overload
+// block 0, overload block 1, and spread across both.
+func faultPlacements(n, f int) [][]int {
+	if f == 0 {
+		return [][]int{nil}
+	}
+	front := make([]int, 0, f)
+	back := make([]int, 0, f)
+	spread := make([]int, 0, f)
+	for j := 0; j < f; j++ {
+		front = append(front, j)
+		back = append(back, n-1-j)
+		spread = append(spread, j*n/f)
+	}
+	return [][]int{front, back, spread}
+}
+
+// TestConformance is the cross-algorithm spec suite: every registered
+// algorithm, over its declared conformance cells, under crash and
+// Byzantine adversaries at its declared resilience, must
+//
+//  1. stabilise within its simulation horizon,
+//  2. stabilise within its *declared* bound when it declares one, and
+//  3. count modulo c from then on — verified by running the same
+//     execution to a fixed horizon past the confirmed window and
+//     requiring zero violations.
+//
+// Registering a new algorithm with conformance cells is all it takes
+// to put it under this contract.
+func TestConformance(t *testing.T) {
+	for _, spec := range Specs() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			for _, cell := range spec.Conformance {
+				a, err := spec.Build(cell)
+				if err != nil {
+					t.Fatalf("cell %v: %v", cell, err)
+				}
+				bound, hasBound := uint64(0), false
+				if b, ok := a.(alg.Bound); ok {
+					bound, hasBound = b.StabilisationBound(), true
+				}
+				maxRounds := spec.MaxRounds(a)
+				for _, advName := range conformanceAdversaries {
+					adv, err := adversary.ByName(advName)
+					if err != nil {
+						t.Fatal(err)
+					}
+					for _, faulty := range faultPlacements(a.N(), a.F()) {
+						for _, seed := range conformanceSeeds {
+							res, err := sim.Run(sim.Config{
+								Alg:       a,
+								Faulty:    faulty,
+								Adv:       adv,
+								Seed:      seed,
+								MaxRounds: maxRounds,
+							})
+							if err != nil {
+								t.Fatal(err)
+							}
+							if !res.Stabilised {
+								t.Fatalf("cell %v adv=%s faulty=%v seed=%d: did not stabilise within %d rounds",
+									cell, advName, faulty, seed, res.RoundsRun)
+							}
+							if hasBound && res.StabilisationTime > bound {
+								t.Fatalf("cell %v adv=%s faulty=%v seed=%d: T = %d exceeds declared bound %d",
+									cell, advName, faulty, seed, res.StabilisationTime, bound)
+							}
+							// Counting must persist: replay the same
+							// execution (same seed, deterministic
+							// simulator) past the confirmation window
+							// and demand zero violations.
+							window := sim.DefaultWindowFor(a.C())
+							full, err := sim.RunFull(sim.Config{
+								Alg:       a,
+								Faulty:    faulty,
+								Adv:       adv,
+								Seed:      seed,
+								MaxRounds: res.StabilisationTime + window + 512,
+							})
+							if err != nil {
+								t.Fatal(err)
+							}
+							if !full.Stabilised {
+								t.Fatalf("cell %v adv=%s faulty=%v seed=%d: full replay lost stabilisation",
+									cell, advName, faulty, seed)
+							}
+							if full.Violations != 0 {
+								t.Fatalf("cell %v adv=%s faulty=%v seed=%d: %d violations after stabilisation — counter does not count forever",
+									cell, advName, faulty, seed, full.Violations)
+							}
+						}
+					}
+				}
+			}
+		})
+	}
+}

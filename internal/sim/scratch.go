@@ -1,0 +1,97 @@
+package sim
+
+import (
+	"math/rand"
+	"sync"
+
+	"github.com/synchcount/synchcount/internal/alg"
+)
+
+// runScratch is the per-run working set of the simulator: every
+// O(n)-sized slice and RNG a run needs. Campaign trials churn through
+// runs by the million, so run() recycles these through a sync.Pool —
+// effectively per-worker reuse — instead of re-allocating ~n slices
+// and 2n RNG objects per trial (the ROADMAP hot-path item). RNGs are
+// reseeded on reuse, which reproduces the historical allocation-per-
+// run seed streams exactly.
+//
+// Pooling is bypassed when the caller observes rounds via
+// Config.OnRound: the observer receives the states and outputs slices
+// directly and may legitimately retain them after the run (the figure
+// harnesses record traces), which a recycled slice would corrupt.
+type runScratch struct {
+	faulty   []bool
+	states   []alg.State
+	next     []alg.State
+	recv     []alg.State
+	outputs  []int
+	seeder   *rand.Rand
+	initRng  *rand.Rand
+	advRng   *rand.Rand
+	nodeRngs []*rand.Rand
+}
+
+var scratchPool sync.Pool
+
+// newScratch returns an unpooled scratch for n nodes.
+func newScratch(n int) *runScratch {
+	s := &runScratch{}
+	s.resize(n)
+	return s
+}
+
+// getScratch fetches (or creates) a pooled scratch sized for n nodes.
+func getScratch(n int) *runScratch {
+	s, _ := scratchPool.Get().(*runScratch)
+	if s == nil {
+		s = &runScratch{}
+	}
+	s.resize(n)
+	return s
+}
+
+// putScratch returns a scratch to the pool.
+func putScratch(s *runScratch) { scratchPool.Put(s) }
+
+// resize (re)provisions the working set for n nodes and clears the
+// fault mask; the state slices need no clearing because every run
+// fully overwrites them before reading.
+func (s *runScratch) resize(n int) {
+	if cap(s.faulty) < n {
+		s.faulty = make([]bool, n)
+		s.states = make([]alg.State, n)
+		s.next = make([]alg.State, n)
+		s.recv = make([]alg.State, n)
+		s.outputs = make([]int, n)
+	}
+	s.faulty = s.faulty[:n]
+	for i := range s.faulty {
+		s.faulty[i] = false
+	}
+	s.states = s.states[:n]
+	s.next = s.next[:n]
+	s.recv = s.recv[:n]
+	s.outputs = s.outputs[:n]
+	if s.seeder == nil {
+		s.seeder = rand.New(rand.NewSource(0))
+		s.initRng = rand.New(rand.NewSource(0))
+		s.advRng = rand.New(rand.NewSource(0))
+	}
+	for len(s.nodeRngs) < n {
+		s.nodeRngs = append(s.nodeRngs, rand.New(rand.NewSource(0)))
+	}
+}
+
+// seedAll reproduces run()'s historical seed derivation: independent
+// streams for initial states, the adversary and every node, all drawn
+// from the master seed in a fixed order.
+func (s *runScratch) seedAll(seed int64, n int) (advBase int64) {
+	s.seeder.Seed(seed)
+	s.initRng.Seed(s.seeder.Int63())
+	s.advRng.Seed(s.seeder.Int63())
+	advBase = s.seeder.Int63()
+	for i := 0; i < n; i++ {
+		s.nodeRngs[i].Seed(s.seeder.Int63())
+	}
+	return advBase
+}

@@ -136,7 +136,19 @@ func run(cfg Config) (Result, error) {
 	if c < 2 {
 		return Result{}, fmt.Errorf("sim: algorithm has counter modulus %d < 2", c)
 	}
-	faulty := make([]bool, n)
+	// The O(n) working set comes from the scratch pool so campaign
+	// trials reuse per-worker slices and RNGs instead of re-allocating
+	// them every run. Runs with an OnRound observer get private
+	// allocations: the observer sees the states/outputs slices and may
+	// retain them (trace recording), which recycling would corrupt.
+	var sc *runScratch
+	if cfg.OnRound == nil {
+		sc = getScratch(n)
+		defer putScratch(sc)
+	} else {
+		sc = newScratch(n)
+	}
+	faulty := sc.faulty
 	for _, i := range cfg.Faulty {
 		if i < 0 || i >= n {
 			return Result{}, fmt.Errorf("sim: faulty node %d out of range [0,%d)", i, n)
@@ -156,17 +168,11 @@ func run(cfg Config) (Result, error) {
 	}
 
 	// Independent, reproducible randomness streams.
-	seeder := rand.New(rand.NewSource(cfg.Seed))
-	initRng := rand.New(rand.NewSource(seeder.Int63()))
-	advRng := rand.New(rand.NewSource(seeder.Int63()))
-	advBase := seeder.Int63()
-	nodeRngs := make([]*rand.Rand, n)
-	for i := range nodeRngs {
-		nodeRngs[i] = rand.New(rand.NewSource(seeder.Int63()))
-	}
+	advBase := sc.seedAll(cfg.Seed, n)
+	initRng, advRng, nodeRngs := sc.initRng, sc.advRng, sc.nodeRngs
 
 	space := a.StateSpace()
-	states := make([]alg.State, n)
+	states := sc.states
 	if cfg.Init != nil {
 		if len(cfg.Init) != n {
 			return Result{}, fmt.Errorf("sim: Init has %d states, want %d", len(cfg.Init), n)
@@ -183,9 +189,9 @@ func run(cfg Config) (Result, error) {
 		}
 	}
 
-	next := make([]alg.State, n)
-	recv := make([]alg.State, n)
-	outputs := make([]int, n)
+	next := sc.next
+	recv := sc.recv
+	outputs := sc.outputs
 
 	correctCount := 0
 	for _, f := range faulty {

@@ -1,0 +1,80 @@
+package sim
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"testing"
+
+	"github.com/synchcount/synchcount/internal/counter"
+	"github.com/synchcount/synchcount/internal/harness"
+)
+
+// simStreamCampaign is a single-scenario campaign of real simulator
+// trials at large n: the workload whose per-trial O(n) slices and RNGs
+// the scratch pool exists to recycle.
+func simStreamCampaign(n, trials int) harness.Campaign {
+	a, err := counter.NewMaxStep(n, 4)
+	if err != nil {
+		panic(err)
+	}
+	cfg := Config{
+		Alg:       a,
+		Seed:      1,
+		MaxRounds: 64,
+		Window:    4,
+	}
+	return harness.Campaign{
+		Name:      "sim-stream",
+		Seed:      1,
+		Workers:   4,
+		Scenarios: []harness.Scenario{CampaignScenario("maxstep", cfg, trials)},
+	}
+}
+
+// BenchmarkCampaign_StreamingSim is the simulator-side companion of
+// harness.BenchmarkCampaign_Streaming: campaigns of real broadcast
+// trials at large n, streamed to a non-buffering sink. It fails —
+// rather than merely reporting — when per-trial allocations grow with
+// the trial count, or when a trial costs more than a fixed allocation
+// budget: with the per-worker scratch pool a trial must not pay the
+// ~2n RNG + O(n) slice allocations of a cold run.
+func BenchmarkCampaign_StreamingSim(b *testing.B) {
+	const n = 64
+	// Generous fixed budget: a pooled trial costs a handful of
+	// engine-side allocations (trial record, sink line, detector),
+	// never O(n)-sized batches of them.
+	const allocBudget = 48.0
+	perTrial := map[int]float64{}
+	sizes := []int{100, 1_000}
+	for _, trials := range sizes {
+		trials := trials
+		b.Run(fmt.Sprintf("trials=%d", trials), func(b *testing.B) {
+			c := simStreamCampaign(n, trials)
+			sink := harness.NDJSONSink(io.Discard)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := c.Stream(context.Background(), sink); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			allocs := testing.AllocsPerRun(1, func() {
+				if err := c.Stream(context.Background(), sink); err != nil {
+					b.Fatal(err)
+				}
+			})
+			perTrial[trials] = allocs / float64(trials)
+			b.ReportMetric(perTrial[trials], "allocs/trial")
+		})
+	}
+	small, large := perTrial[sizes[0]], perTrial[sizes[1]]
+	if small > 0 && large > small*1.5+1 {
+		b.Fatalf("simulator streaming allocations are not flat: %.2f allocs/trial at %d trials, %.2f at %d",
+			small, sizes[0], large, sizes[1])
+	}
+	if large > allocBudget {
+		b.Fatalf("per-trial allocations at n=%d exceed the scratch-reuse budget: %.2f > %.0f (is sim.run allocating its working set again?)",
+			n, large, allocBudget)
+	}
+}

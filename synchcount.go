@@ -51,10 +51,12 @@ import (
 	"github.com/synchcount/synchcount/internal/alg"
 	"github.com/synchcount/synchcount/internal/boost"
 	"github.com/synchcount/synchcount/internal/counter"
+	"github.com/synchcount/synchcount/internal/ecount"
 	"github.com/synchcount/synchcount/internal/harness"
 	"github.com/synchcount/synchcount/internal/pull"
 	"github.com/synchcount/synchcount/internal/recursion"
 	"github.com/synchcount/synchcount/internal/reduction"
+	"github.com/synchcount/synchcount/internal/registry"
 	"github.com/synchcount/synchcount/internal/sim"
 	"github.com/synchcount/synchcount/internal/synth"
 	"github.com/synchcount/synchcount/internal/verify"
@@ -296,6 +298,52 @@ func RandomizedAgree(n, f int) (Algorithm, error) { return counter.NewRandomized
 // RandomizedBiased returns the threshold-biased randomised 2-counter in
 // the spirit of Table 1 row [5].
 func RandomizedBiased(n, f int) (Algorithm, error) { return counter.NewRandomizedBiased(n, f) }
+
+// Follow-up constructions (arXiv:1508.02535; see internal/ecount) and
+// the algorithm registry (see internal/registry).
+type (
+	// ECountCounter is a silent-consensus counter of the follow-up
+	// paper "Efficient Counting with Optimal Resilience".
+	ECountCounter = ecount.Counter
+	// SilentConsensus is the once-consensus building block the ecount
+	// counters are derived from.
+	SilentConsensus = ecount.Consensus
+	// RegistryParams is the uniform (n, f, c) parameterisation of the
+	// algorithm registry; zero fields take per-algorithm defaults.
+	RegistryParams = registry.Params
+	// RegistrySpec describes one registered algorithm family.
+	RegistrySpec = registry.Spec
+	// CompareSpec describes a head-to-head campaign between registered
+	// algorithms over a shared (f, adversary, seed) grid.
+	CompareSpec = registry.CompareSpec
+	// CompareCell is the static per-build metadata of a compare column.
+	CompareCell = registry.CompareCell
+)
+
+// ECount builds the follow-up paper's balanced-recursion counter:
+// resilience f < n/3 with an O(f) stabilisation bound and
+// polylogarithmic-style state growth.
+func ECount(n, f, c int) (*ECountCounter, error) { return ecount.New(n, f, c) }
+
+// ECountChain builds the chain-recursion variant: same resilience,
+// depth-f recursion with an O(f^2) stabilisation bound.
+func ECountChain(n, f, c int) (*ECountCounter, error) { return ecount.NewChain(n, f, c) }
+
+// NewSilentConsensus returns the silent once-consensus building block
+// for n nodes tolerating f < n/3 faults, agreeing modulo mod.
+func NewSilentConsensus(n, f int, mod uint64) (*SilentConsensus, error) {
+	return ecount.NewConsensus(n, f, mod)
+}
+
+// RegisteredAlgorithms lists the algorithm registry names in
+// presentation order.
+func RegisteredAlgorithms() []string { return registry.Names() }
+
+// BuildRegistered constructs a registered algorithm by name from the
+// uniform parameterisation — the registry's common constructor.
+func BuildRegistered(name string, p RegistryParams) (Algorithm, error) {
+	return registry.Build(name, p)
+}
 
 // Adversaries.
 

@@ -246,3 +246,55 @@ func TestGreedyAPI(t *testing.T) {
 		t.Fatal("greedy over a randomised algorithm must fail")
 	}
 }
+
+func TestECountAndRegistryAPI(t *testing.T) {
+	cnt, err := ECount(7, 2, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cnt.N() != 7 || cnt.F() != 2 || cnt.C() != 10 {
+		t.Fatalf("ECount parameters: N=%d F=%d C=%d", cnt.N(), cnt.F(), cnt.C())
+	}
+	if b, err := StabilisationBound(cnt); err != nil || b == 0 {
+		t.Fatalf("ECount bound: %d, %v", b, err)
+	}
+	chain, err := ECountChain(7, 2, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsDeterministic(chain) {
+		t.Fatal("ECountChain must be deterministic")
+	}
+	cons, err := NewSilentConsensus(4, 1, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cons.Rounds() != 9 {
+		t.Fatalf("SilentConsensus rounds = %d, want 9", cons.Rounds())
+	}
+
+	names := RegisteredAlgorithms()
+	if len(names) < 9 {
+		t.Fatalf("registry lists %d algorithms: %v", len(names), names)
+	}
+	a, err := BuildRegistered("ecount", RegistryParams{F: 1, C: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Simulate(SimConfig{
+		Alg:       a,
+		Faulty:    []int{2},
+		Adv:       MustAdversary("splitvote"),
+		Seed:      1,
+		MaxRounds: 1024,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stabilised {
+		t.Fatal("registry-built ecount did not stabilise")
+	}
+	if _, err := BuildRegistered("nope", RegistryParams{}); err == nil {
+		t.Fatal("unknown registry name must fail")
+	}
+}
