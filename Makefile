@@ -3,7 +3,10 @@
 
 GO ?= go
 
-.PHONY: build test race bench fuzz-smoke shard-smoke compare-smoke fmt fmt-check vet ci
+# PR number stamped into the benchmark-trajectory artifact BENCH_$(PR).json.
+PR ?= 4
+
+.PHONY: build test race bench bench-json bench-smoke fuzz-smoke shard-smoke compare-smoke fmt fmt-check vet ci
 
 build:
 	$(GO) build ./...
@@ -16,6 +19,23 @@ race:
 
 bench:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
+
+# Full kernel benchmark run, recorded as the repo's benchmark
+# trajectory artifact (BENCH_4.json for this PR; override with PR=n).
+bench-json:
+	$(GO) test -run='^$$' -bench='^BenchmarkKernel_' -benchmem -benchtime=2s ./internal/sim \
+		| $(GO) run ./cmd/benchjson -pr $(PR) -out BENCH_$(PR).json
+	@echo "wrote BENCH_$(PR).json"
+
+# Reduced-count kernel comparison: fails when the vectorized kernel's
+# advantage over the reference loop drops below 1.5x on any paired
+# case (the committed trajectory shows >= 3x, so this catches > 2x
+# regressions). Ratios are immune to absolute machine speed but not to
+# scheduler noise; 10 iterations per side keeps a single descheduled
+# trial from flipping the gate on shared CI runners.
+bench-smoke:
+	$(GO) test -run='^$$' -bench='^BenchmarkKernel_' -benchmem -benchtime=10x ./internal/sim \
+		| $(GO) run ./cmd/benchjson -min-speedup 1.5
 
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz='^FuzzPackUnpack$$' -fuzztime=10s ./internal/codec
@@ -67,4 +87,4 @@ fmt-check:
 vet:
 	$(GO) vet ./...
 
-ci: build vet fmt-check race fuzz-smoke bench shard-smoke compare-smoke
+ci: build vet fmt-check race fuzz-smoke bench shard-smoke compare-smoke bench-smoke

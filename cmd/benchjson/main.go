@@ -1,0 +1,212 @@
+// Command benchjson converts `go test -bench` output into the
+// repository's benchmark-trajectory JSON artifacts (BENCH_<pr>.json)
+// and doubles as the CI regression gate for the vectorized round
+// kernel.
+//
+// It reads benchmark output on stdin, parses every benchmark line into
+// name/iterations/metrics, and pairs BenchmarkKernel_Reference_<case>
+// with BenchmarkKernel_Vectorized_<case> rows into speedup
+// comparisons:
+//
+//	go test -run '^$' -bench '^BenchmarkKernel_' -benchmem ./internal/sim |
+//	    benchjson -pr 4 -out BENCH_4.json
+//
+// With -min-speedup S it exits non-zero when any paired case speeds up
+// by less than S× — the `make bench-smoke` CI job runs the benchmarks
+// at a reduced count and uses this to catch kernel regressions without
+// flaking on absolute timings.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed benchmark result line.
+type Benchmark struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Comparison pairs the reference and vectorized measurements of one
+// benchmark case.
+type Comparison struct {
+	Case          string  `json:"case"`
+	ReferenceNs   float64 `json:"reference_ns_per_op"`
+	VectorizedNs  float64 `json:"vectorized_ns_per_op"`
+	Speedup       float64 `json:"speedup"`
+	RefAllocs     float64 `json:"reference_allocs_per_op"`
+	VecAllocs     float64 `json:"vectorized_allocs_per_op"`
+	RefNsPerRound float64 `json:"reference_ns_per_round,omitempty"`
+	VecNsPerRound float64 `json:"vectorized_ns_per_round,omitempty"`
+}
+
+// Report is the BENCH_<pr>.json schema.
+type Report struct {
+	Schema      string       `json:"schema"`
+	PR          int          `json:"pr"`
+	Goos        string       `json:"goos,omitempty"`
+	Goarch      string       `json:"goarch,omitempty"`
+	CPU         string       `json:"cpu,omitempty"`
+	Pkg         string       `json:"pkg,omitempty"`
+	Benchmarks  []Benchmark  `json:"benchmarks"`
+	Comparisons []Comparison `json:"comparisons"`
+}
+
+const (
+	refPrefix = "BenchmarkKernel_Reference_"
+	vecPrefix = "BenchmarkKernel_Vectorized_"
+)
+
+func main() {
+	pr := flag.Int("pr", 0, "PR number stamped into the artifact")
+	out := flag.String("out", "", "output path for the JSON artifact ('-' for stdout, empty for check-only)")
+	minSpeedup := flag.Float64("min-speedup", 0, "fail unless every Reference/Vectorized pair speeds up at least this much")
+	flag.Parse()
+
+	report, err := parse(bufio.NewScanner(os.Stdin))
+	if err != nil {
+		fatal(err)
+	}
+	report.PR = *pr
+
+	if len(report.Benchmarks) == 0 {
+		fatal(fmt.Errorf("no benchmark lines on stdin (run with -bench and pipe the output here)"))
+	}
+
+	if *out != "" {
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		data = append(data, '\n')
+		if *out == "-" {
+			os.Stdout.Write(data)
+		} else if err := os.WriteFile(*out, data, 0o644); err != nil {
+			fatal(err)
+		}
+	}
+
+	if *minSpeedup > 0 {
+		if len(report.Comparisons) == 0 {
+			fatal(fmt.Errorf("-min-speedup set but no Reference/Vectorized pairs found"))
+		}
+		failed := false
+		for _, c := range report.Comparisons {
+			status := "ok"
+			if c.Speedup < *minSpeedup {
+				status = "FAIL"
+				failed = true
+			}
+			fmt.Fprintf(os.Stderr, "bench-smoke: %-24s speedup %.2fx (min %.2fx) %s\n",
+				c.Case, c.Speedup, *minSpeedup, status)
+		}
+		if failed {
+			fatal(fmt.Errorf("kernel speedup regression: at least one pair below %.2fx", *minSpeedup))
+		}
+	}
+}
+
+func parse(sc *bufio.Scanner) (*Report, error) {
+	report := &Report{Schema: "synchcount-bench-trajectory/v1"}
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			report.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			report.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "cpu:"):
+			report.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "pkg:"):
+			report.Pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			b, err := parseBenchLine(line)
+			if err != nil {
+				return nil, err
+			}
+			report.Benchmarks = append(report.Benchmarks, b)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	report.Comparisons = pair(report.Benchmarks)
+	return report, nil
+}
+
+// parseBenchLine parses one result row:
+//
+//	BenchmarkX-8   27   43831877 ns/op   90228 ns/round   2297 B/op   11 allocs/op
+func parseBenchLine(line string) (Benchmark, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return Benchmark{}, fmt.Errorf("malformed benchmark line: %q", line)
+	}
+	name := fields[0]
+	// Strip the -<GOMAXPROCS> suffix.
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, fmt.Errorf("bad iteration count in %q: %w", line, err)
+	}
+	b := Benchmark{Name: name, Iterations: iters, Metrics: map[string]float64{}}
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, fmt.Errorf("bad metric value in %q: %w", line, err)
+		}
+		b.Metrics[fields[i+1]] = val
+	}
+	return b, nil
+}
+
+// pair matches Reference_<case> with Vectorized_<case> rows.
+func pair(benchmarks []Benchmark) []Comparison {
+	byName := map[string]Benchmark{}
+	var order []string
+	for _, b := range benchmarks {
+		byName[b.Name] = b
+		if strings.HasPrefix(b.Name, refPrefix) {
+			order = append(order, strings.TrimPrefix(b.Name, refPrefix))
+		}
+	}
+	var out []Comparison
+	for _, c := range order {
+		ref, okR := byName[refPrefix+c]
+		vec, okV := byName[vecPrefix+c]
+		if !okR || !okV {
+			continue
+		}
+		refNs, vecNs := ref.Metrics["ns/op"], vec.Metrics["ns/op"]
+		if refNs == 0 || vecNs == 0 {
+			continue
+		}
+		out = append(out, Comparison{
+			Case:          c,
+			ReferenceNs:   refNs,
+			VectorizedNs:  vecNs,
+			Speedup:       refNs / vecNs,
+			RefAllocs:     ref.Metrics["allocs/op"],
+			VecAllocs:     vec.Metrics["allocs/op"],
+			RefNsPerRound: ref.Metrics["ns/round"],
+			VecNsPerRound: vec.Metrics["ns/round"],
+		})
+	}
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,69 @@
+package main
+
+import (
+	"bufio"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: github.com/synchcount/synchcount/internal/sim
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkKernel_Reference_ECount_n64_f7-8         4  291102822 ns/op  568560 ns/round  182725394 B/op  649305 allocs/op
+BenchmarkKernel_Vectorized_ECount_n64_f7-8       27   43831877 ns/op   85609 ns/round      2297 B/op      11 allocs/op
+BenchmarkKernel_Reference_Figure2_n36_f7-8        8  135524085 ns/op  264695 ns/round  35635523 B/op  326659 allocs/op
+BenchmarkKernel_Vectorized_Figure2_n36_f7-8      46   24933290 ns/op   48698 ns/round      1193 B/op       5 allocs/op
+PASS
+`
+
+func TestParse(t *testing.T) {
+	report, err := parse(bufio.NewScanner(strings.NewReader(sample)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Goos != "linux" || report.Goarch != "amd64" || report.CPU == "" {
+		t.Fatalf("header parse: %+v", report)
+	}
+	if len(report.Benchmarks) != 4 {
+		t.Fatalf("parsed %d benchmarks, want 4", len(report.Benchmarks))
+	}
+	b := report.Benchmarks[1]
+	if b.Name != "BenchmarkKernel_Vectorized_ECount_n64_f7" {
+		t.Fatalf("name with GOMAXPROCS suffix not stripped: %q", b.Name)
+	}
+	if b.Iterations != 27 || b.Metrics["ns/op"] != 43831877 || b.Metrics["allocs/op"] != 11 {
+		t.Fatalf("metrics parse: %+v", b)
+	}
+
+	if len(report.Comparisons) != 2 {
+		t.Fatalf("paired %d comparisons, want 2", len(report.Comparisons))
+	}
+	c := report.Comparisons[0]
+	if c.Case != "ECount_n64_f7" {
+		t.Fatalf("case = %q", c.Case)
+	}
+	if c.Speedup < 6.5 || c.Speedup > 6.7 {
+		t.Fatalf("speedup = %f, want ~6.6", c.Speedup)
+	}
+	if c.RefNsPerRound != 568560 || c.VecNsPerRound != 85609 {
+		t.Fatalf("ns/round not carried: %+v", c)
+	}
+}
+
+func TestParseRejectsGarbageBenchLine(t *testing.T) {
+	if _, err := parse(bufio.NewScanner(strings.NewReader("BenchmarkBroken 12\n"))); err == nil {
+		t.Fatal("malformed line should fail")
+	}
+}
+
+func TestPairSkipsUnpaired(t *testing.T) {
+	report, err := parse(bufio.NewScanner(strings.NewReader(
+		"BenchmarkKernel_Reference_Lonely-8 4 100 ns/op\nPASS\n")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Comparisons) != 0 {
+		t.Fatalf("unpaired case produced a comparison: %+v", report.Comparisons)
+	}
+}

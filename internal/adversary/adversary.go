@@ -35,18 +35,46 @@ type View struct {
 	Rng *rand.Rand
 
 	baseSeed int64
+
+	// Round-scoped scratch: the correct-state vector is recomputed at
+	// most once per round and shared by every Message/MessageRow call
+	// of that round, instead of one fresh slice per point-to-point
+	// message (Spread and Flip used to allocate O(n) per message).
+	correctScratch []alg.State
+	correctRound   uint64
+	correctValid   bool
+}
+
+// AppendCorrectStates appends the states of all correct nodes, in node
+// order, to dst and returns the extended slice. It is the
+// allocation-free variant of CorrectStates for callers that hold a
+// scratch buffer.
+func (v *View) AppendCorrectStates(dst []alg.State) []alg.State {
+	for i, s := range v.States {
+		if !v.Faulty[i] {
+			dst = append(dst, s)
+		}
+	}
+	return dst
 }
 
 // CorrectStates returns the states of all correct nodes in node order.
-// The slice is freshly allocated.
+// The slice is freshly allocated; hot paths use AppendCorrectStates or
+// the View's per-round cache instead.
 func (v *View) CorrectStates() []alg.State {
-	out := make([]alg.State, 0, len(v.States))
-	for i, s := range v.States {
-		if !v.Faulty[i] {
-			out = append(out, s)
-		}
+	return v.AppendCorrectStates(make([]alg.State, 0, len(v.States)))
+}
+
+// correctStates returns the correct-state vector for the current
+// round, computing it at most once per round into the View's scratch.
+// Callers must not retain or mutate the returned slice.
+func (v *View) correctStates() []alg.State {
+	if !v.correctValid || v.correctRound != v.Round {
+		v.correctScratch = v.AppendCorrectStates(v.correctScratch[:0])
+		v.correctRound = v.Round
+		v.correctValid = true
 	}
-	return out
+	return v.correctScratch
 }
 
 // Adversary chooses, for every faulty sender, the state each receiver
@@ -57,6 +85,22 @@ type Adversary interface {
 	Name() string
 	// Message returns the state faulty node from presents to receiver to.
 	Message(v *View, from, to int) alg.State
+}
+
+// RowMessenger is the vectorized fan-out hook: the simulator's round
+// kernel delivers all faulty-sender messages for one receiver in a
+// single call, sparing one interface dispatch per (sender, receiver)
+// pair. MessageRow must be observationally identical to calling
+// Message(v, senders[j], to) for j ascending — including the order of
+// draws from the shared View.Rng — which is exactly how the kernel
+// invokes it (receivers ascending, senders ascending). Strategies
+// without the hook fall back to per-pair Message.
+type RowMessenger interface {
+	Adversary
+	// MessageRow fills row[j] with the state senders[j] presents to
+	// receiver to this round. len(row) == len(senders); senders lists
+	// the faulty nodes in ascending order.
+	MessageRow(v *View, senders []int, to int, row []alg.State)
 }
 
 // Silent models crash-like behaviour: the faulty node appears frozen in
@@ -163,7 +207,7 @@ func (Spread) Name() string { return "spread" }
 
 // Message implements Adversary.
 func (Spread) Message(v *View, _, to int) alg.State {
-	correct := v.CorrectStates()
+	correct := v.correctStates()
 	if len(correct) == 0 {
 		return 0
 	}
@@ -181,7 +225,7 @@ func (Flip) Name() string { return "flip" }
 
 // Message implements Adversary.
 func (Flip) Message(v *View, _, _ int) alg.State {
-	maj := alg.Majority(v.CorrectStates())
+	maj := alg.Majority(v.correctStates())
 	return (maj + 1) % v.Space
 }
 
@@ -229,9 +273,9 @@ func ByName(name string) (Adversary, error) {
 	return a, nil
 }
 
+// uniform draws a uniform forged state; see alg.UniformState for the
+// overflow-safe draw rule shared with the simulator's initial-state
+// draws.
 func uniform(rng *rand.Rand, space uint64) alg.State {
-	if space <= 1 {
-		return 0
-	}
-	return alg.State(rng.Int63n(int64(space)))
+	return alg.UniformState(rng, space)
 }

@@ -74,19 +74,25 @@ func TestGreedyScoresAtLeastInner(t *testing.T) {
 		v.SetBaseSeed(seed)
 		v.Round = uint64(seed)
 
-		// Inner assignment score.
-		innerCand := map[[2]int]alg.State{}
+		// Collect both assignments first: querying greedy recomputes
+		// and therefore overwrites the candidate scratch.
+		var innerCand, greedyCand [5]alg.State
 		for to := 0; to < 5; to++ {
-			innerCand[[2]int{1, to}] = inner.Message(v, 1, to)
+			innerCand[to] = inner.Message(v, 1, to)
 		}
-		innerScore := g.score(v, []int{0, 2, 3, 4}, innerCand)
-
-		// Greedy assignment score.
-		greedyCand := map[[2]int]alg.State{}
 		for to := 0; to < 5; to++ {
-			greedyCand[[2]int{1, to}] = g.Message(v, 1, to)
+			greedyCand[to] = g.Message(v, 1, to)
 		}
-		greedyScore := g.score(v, []int{0, 2, 3, 4}, greedyCand)
+		scoreOf := func(cand [5]alg.State) int {
+			g.resize(v)
+			nf := len(g.faulty)
+			for to := 0; to < 5; to++ {
+				g.cand[to*nf] = cand[to] % v.Space
+			}
+			return g.score(v)
+		}
+		innerScore := scoreOf(innerCand)
+		greedyScore := scoreOf(greedyCand)
 		if greedyScore < innerScore {
 			t.Fatalf("seed %d: greedy score %d < inner score %d", seed, greedyScore, innerScore)
 		}

@@ -1,0 +1,179 @@
+package adversary
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/synchcount/synchcount/internal/alg"
+	"github.com/synchcount/synchcount/internal/counter"
+)
+
+func rowTestView(seed int64) *View {
+	rng := rand.New(rand.NewSource(seed))
+	n := 9
+	v := &View{
+		States: make([]alg.State, n),
+		Faulty: []bool{false, true, false, false, true, false, true, false, false},
+		Space:  12,
+		Rng:    rng,
+	}
+	for i := range v.States {
+		v.States[i] = uint64(rng.Intn(12))
+	}
+	v.SetBaseSeed(seed)
+	return v
+}
+
+func rowSenders(v *View) []int {
+	var s []int
+	for i, f := range v.Faulty {
+		if f {
+			s = append(s, i)
+		}
+	}
+	return s
+}
+
+// TestMessageRowMatchesMessage holds every RowMessenger to its
+// contract: MessageRow must equal per-pair Message calls in ascending
+// sender order, for every receiver, including the draws it takes from
+// the shared rng. This is what lets the vectorized kernel substitute
+// row fills for per-pair dispatch without perturbing any seed stream.
+func TestMessageRowMatchesMessage(t *testing.T) {
+	for name, adv := range Registry() {
+		rower, ok := adv.(RowMessenger)
+		if !ok {
+			t.Errorf("built-in adversary %q does not implement RowMessenger", name)
+			continue
+		}
+		for round := uint64(0); round < 4; round++ {
+			// Identical Views with identically seeded rngs: one serves
+			// the per-pair calls, the other the row calls.
+			vMsg := rowTestView(7)
+			vRow := rowTestView(7)
+			vMsg.Round, vRow.Round = round, round
+			senders := rowSenders(vMsg)
+			row := make([]alg.State, len(senders))
+			for to := 0; to < len(vMsg.States); to++ {
+				if vMsg.Faulty[to] {
+					continue
+				}
+				rower.MessageRow(vRow, senders, to, row)
+				for j, from := range senders {
+					want := adv.Message(vMsg, from, to)
+					if row[j] != want {
+						t.Fatalf("%s: round %d sender %d -> receiver %d: row %d, message %d",
+							name, round, from, to, row[j], want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestGreedyMessageRowMatchesMessage covers the stateful lookahead
+// separately: two greedy instances over the same inner strategy and
+// identically seeded views must agree row-vs-pair.
+func TestGreedyMessageRowMatchesMessage(t *testing.T) {
+	m, err := counter.NewMaxStep(9, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gMsg, err := NewGreedy(m, Equivocate{}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gRow, err := NewGreedy(m, Equivocate{}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vMsg := rowTestView(11)
+	vRow := rowTestView(11)
+	vMsg.Space, vRow.Space = 6, 6
+	senders := rowSenders(vMsg)
+	row := make([]alg.State, len(senders))
+	for round := uint64(0); round < 6; round++ {
+		vMsg.Round, vRow.Round = round, round
+		for to := 0; to < len(vMsg.States); to++ {
+			if vMsg.Faulty[to] {
+				continue
+			}
+			gRow.MessageRow(vRow, senders, to, row)
+			for j, from := range senders {
+				if want := gMsg.Message(vMsg, from, to); row[j] != want {
+					t.Fatalf("round %d sender %d -> receiver %d: row %d, message %d", round, from, to, row[j], want)
+				}
+			}
+		}
+	}
+}
+
+// TestAppendCorrectStates pins the append-into variant and the
+// CorrectStates wrapper over it.
+func TestAppendCorrectStates(t *testing.T) {
+	v := &View{
+		States: []alg.State{9, 2, 7, 4, 1},
+		Faulty: []bool{true, false, false, true, false},
+	}
+	scratch := make([]alg.State, 0, 8)
+	got := v.AppendCorrectStates(scratch)
+	want := []alg.State{2, 7, 1}
+	if len(got) != len(want) {
+		t.Fatalf("AppendCorrectStates = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("AppendCorrectStates = %v, want %v", got, want)
+		}
+	}
+	// Appending must extend, not clobber.
+	pre := []alg.State{99}
+	got = v.AppendCorrectStates(pre)
+	if got[0] != 99 || len(got) != 4 {
+		t.Fatalf("AppendCorrectStates did not append: %v", got)
+	}
+	if cs := v.CorrectStates(); len(cs) != 3 || cs[0] != 2 {
+		t.Fatalf("CorrectStates = %v", cs)
+	}
+}
+
+// TestViewCorrectStatesCacheInvalidation: the per-round cache must
+// refresh when the round advances and the states change in place —
+// exactly what the simulator does between rounds.
+func TestViewCorrectStatesCacheInvalidation(t *testing.T) {
+	v := &View{
+		States: []alg.State{1, 2, 3},
+		Faulty: []bool{false, true, false},
+		Space:  10,
+	}
+	v.Round = 0
+	if s := (Spread{}).Message(v, 1, 0); s != 1 {
+		t.Fatalf("round 0: spread showed %d, want 1", s)
+	}
+	v.States[0] = 8 // simulator writes next states in place...
+	v.Round = 1     // ...and advances the round
+	if s := (Spread{}).Message(v, 1, 0); s != 8 {
+		t.Fatalf("round 1: spread showed stale cache value %d, want 8", s)
+	}
+}
+
+// TestAdversaryUniformHugeSpace is the adversary-side companion of the
+// sim.uniformState overflow fix.
+func TestAdversaryUniformHugeSpace(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, space := range []uint64{2, math.MaxInt64, uint64(1) << 63, math.MaxUint64} {
+		for i := 0; i < 1024; i++ {
+			if s := uniform(rng, space); s >= space {
+				t.Fatalf("space %d: drew %d out of range", space, s)
+			}
+		}
+	}
+	// Historical stream preserved below the Int63n boundary.
+	a, b := rand.New(rand.NewSource(4)), rand.New(rand.NewSource(4))
+	for i := 0; i < 256; i++ {
+		if got, want := uniform(a, 960), uint64(b.Int63n(960)); got != want {
+			t.Fatalf("draw %d: %d != %d", i, got, want)
+		}
+	}
+}

@@ -9,6 +9,7 @@
 package alg
 
 import (
+	"math"
 	"math/rand"
 
 	"github.com/synchcount/synchcount/internal/codec"
@@ -135,6 +136,30 @@ func (t *Tally) MinValueWithCountAbove(threshold int) (uint64, bool) {
 		}
 	}
 	return best, found
+}
+
+// UniformState draws a uniform state from [0, space). For every space
+// Int63n can represent it takes the historical rng.Int63n draw —
+// preserving the seed streams (and hence every golden file) bit for
+// bit — and above 2^63, where Int63n(int64(space)) would panic on the
+// negative conversion, it rejection-samples the full 64-bit word: the
+// acceptance region there is space itself (floor(2^64/space) = 1), so
+// fewer than two draws are needed in expectation. Both the simulator's
+// initial-state draws and the adversaries' forged-state draws go
+// through this single definition so the two stream families cannot
+// skew apart.
+func UniformState(rng *rand.Rand, space uint64) State {
+	if space <= 1 {
+		return 0
+	}
+	if space <= math.MaxInt64 {
+		return State(rng.Int63n(int64(space)))
+	}
+	for {
+		if r := rng.Uint64(); r < space {
+			return State(r)
+		}
+	}
 }
 
 // Majority is a convenience wrapper that tallies values and returns the

@@ -2,6 +2,7 @@ package boost
 
 import (
 	"fmt"
+	"sync"
 
 	"github.com/synchcount/synchcount/internal/adversary"
 	"github.com/synchcount/synchcount/internal/alg"
@@ -47,7 +48,35 @@ func (s Saboteur) Name() string { return "saboteur" }
 
 // Message implements adversary.Adversary.
 func (s Saboteur) Message(v *adversary.View, from, to int) alg.State {
-	return forgeLevel(s.C, v.States, v, 0, from, to, 0, false)
+	sc := forgePool.Get().(*forgeScratch)
+	st := forgeLevel(s.C, v.States, v, 0, from, to, 0, false, sc, 0)
+	forgePool.Put(sc)
+	return st
+}
+
+// forgeScratch recycles the per-message working set of the forge
+// chain: one majority tally and one sub-state buffer per recursion
+// level, instead of fresh allocations for every point-to-point
+// message.
+type forgeScratch struct {
+	tally *alg.DenseTally
+	subs  [][]alg.State
+}
+
+var forgePool = sync.Pool{New: func() any {
+	return &forgeScratch{tally: alg.NewDenseTally(0)}
+}}
+
+// sub returns the scratch sub-state buffer for a recursion depth,
+// sized to n.
+func (sc *forgeScratch) sub(depth, n int) []alg.State {
+	for len(sc.subs) <= depth {
+		sc.subs = append(sc.subs, nil)
+	}
+	if cap(sc.subs[depth]) < n {
+		sc.subs[depth] = make([]alg.State, n)
+	}
+	return sc.subs[depth][:n]
 }
 
 // forgeLevel builds a forged state for the counter b (one level of the
@@ -56,13 +85,14 @@ func (s Saboteur) Message(v *adversary.View, from, to int) alg.State {
 // set, the level's a-register is pinned to aVal — this happens on inner
 // levels, whose a-register doubles as the parent's block-counter value
 // and carries the leader-vote tip.
-func forgeLevel(b *Counter, states []alg.State, v *adversary.View, offset, fromLoc, to int, aVal uint64, forceA bool) alg.State {
+func forgeLevel(b *Counter, states []alg.State, v *adversary.View, offset, fromLoc, to int, aVal uint64, forceA bool, sc *forgeScratch, depth int) alg.State {
 	// Registers: pinned (inner levels) or majority±parity (top level).
 	var regs phaseking.Registers
 	if forceA {
 		regs = phaseking.Registers{A: aVal % b.cOut, D: uint64(to) & 1}
 	} else {
-		tally := alg.NewTally(len(states))
+		tally := sc.tally
+		tally.Resize(b.cOut)
 		for uLoc, st := range states {
 			if g := offset + uLoc; g < len(v.Faulty) && v.Faulty[g] {
 				continue
@@ -105,11 +135,11 @@ func forgeLevel(b *Counter, states []alg.State, v *adversary.View, offset, fromL
 	var baseSt alg.State
 	switch base := b.base.(type) {
 	case *Counter:
-		subStates := make([]alg.State, b.n)
+		subStates := sc.sub(depth, b.n)
 		for j := 0; j < b.n; j++ {
 			subStates[j] = b.BaseState(states[fromBlock*b.n+j])
 		}
-		baseSt = forgeLevel(base, subStates, v, offset+fromBlock*b.n, b.IndexInBlock(fromLoc), to, val, true)
+		baseSt = forgeLevel(base, subStates, v, offset+fromBlock*b.n, b.IndexInBlock(fromLoc), to, val, true, sc, depth+1)
 	default:
 		baseSt = val % b.base.StateSpace()
 	}

@@ -28,6 +28,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"github.com/synchcount/synchcount/internal/alg"
 	"github.com/synchcount/synchcount/internal/codec"
@@ -66,6 +67,10 @@ type Counter struct {
 	pkCfg  phaseking.Config
 	baseC  uint64 // base counter modulus c
 	detBit bool
+
+	// pool recycles the batch-stepping working set (see batch.go)
+	// across rounds and concurrent campaign trials.
+	pool sync.Pool
 }
 
 var _ alg.Algorithm = (*Counter)(nil)

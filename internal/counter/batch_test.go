@@ -1,0 +1,116 @@
+package counter
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/synchcount/synchcount/internal/alg"
+)
+
+// TestBatchStepMatchesStep holds every counter's StepAll to the
+// per-node transition over random configurations. The randomised
+// counters run with per-node rngs seeded identically on both sides:
+// equal shared bit counts must lead to the exact same draw sequence.
+func TestBatchStepMatchesStep(t *testing.T) {
+	trivial, _ := NewTrivial(6)
+	maxstep, _ := NewMaxStep(7, 5)
+	agree, _ := NewRandomizedAgree(10, 3)
+	biased, _ := NewRandomizedBiased(10, 3)
+	for _, tc := range []struct {
+		name string
+		a    alg.Algorithm
+	}{
+		{"trivial", trivial},
+		{"maxstep", maxstep},
+		{"randagree", agree},
+		{"randbiased", biased},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			a := tc.a
+			bs, ok := a.(alg.BatchStepper)
+			if !ok {
+				t.Fatalf("%T does not implement alg.BatchStepper", a)
+			}
+			n := a.N()
+			space := a.StateSpace()
+			rng := rand.New(rand.NewSource(5))
+			for trial := 0; trial < 128; trial++ {
+				states := make([]alg.State, n)
+				for i := range states {
+					states[i] = rng.Uint64() % space
+				}
+				faulty := make([]bool, n)
+				var senders []int
+				nf := rng.Intn(a.F() + 2)
+				if nf >= n {
+					nf = n - 1
+				}
+				for len(senders) < nf {
+					u := rng.Intn(n)
+					if !faulty[u] {
+						faulty[u] = true
+						senders = senders[:0]
+						for i, f := range faulty {
+							if f {
+								senders = append(senders, i)
+							}
+						}
+					}
+				}
+				values := make([][]alg.State, n)
+				for v := 0; v < n; v++ {
+					if faulty[v] {
+						continue
+					}
+					row := make([]alg.State, len(senders))
+					for j := range row {
+						row[j] = rng.Uint64() % space
+					}
+					values[v] = row
+				}
+				p := &alg.Patches{Faulty: faulty, Senders: senders, Values: values}
+
+				// Identically seeded per-node rngs for both paths.
+				seeds := make([]int64, n)
+				for i := range seeds {
+					seeds[i] = rng.Int63()
+				}
+				refRngs := make([]*rand.Rand, n)
+				batchRngs := make([]*rand.Rand, n)
+				for i := range seeds {
+					refRngs[i] = rand.New(rand.NewSource(seeds[i]))
+					batchRngs[i] = rand.New(rand.NewSource(seeds[i]))
+				}
+
+				wantNext := make([]alg.State, n)
+				recv := make([]alg.State, n)
+				for v := 0; v < n; v++ {
+					if faulty[v] {
+						continue
+					}
+					copy(recv, states)
+					p.Apply(recv, v)
+					wantNext[v] = a.Step(v, recv, refRngs[v])
+				}
+
+				gotNext := make([]alg.State, n)
+				bs.StepAll(gotNext, states, p, batchRngs)
+				for v := 0; v < n; v++ {
+					if !faulty[v] && gotNext[v] != wantNext[v] {
+						t.Fatalf("trial %d: node %d: StepAll %d, Step %d (faults %v)",
+							trial, v, gotNext[v], wantNext[v], senders)
+					}
+				}
+				// The rng streams must have advanced identically.
+				for v := 0; v < n; v++ {
+					if faulty[v] {
+						continue
+					}
+					if refRngs[v].Int63() != batchRngs[v].Int63() {
+						t.Fatalf("trial %d: node %d consumed a different number of rng draws", trial, v)
+					}
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,282 @@
+package ecount
+
+import (
+	"math/rand"
+
+	"github.com/synchcount/synchcount/internal/alg"
+	"github.com/synchcount/synchcount/internal/phaseking"
+)
+
+// Batch stepping for the 1508.02535 counter. A round of the derived
+// counter reads both block clocks by quorum vote and (during a sweep)
+// tallies the consensus registers of all n nodes — and in the
+// broadcast model those tallies are identical at every receiver except
+// for the ≤ f patched faulty slots. StepAll builds each tally once
+// over the correct senders, resolves the clock of a fault-free block
+// once per round, and per receiver only adds/queries/removes the
+// patched contributions; the block counters recurse through StepAll
+// down to the MaxStep leaves, so a whole round runs without per-node
+// interface dispatch or allocations (the working set is pooled on the
+// Counter).
+//
+// Bit-identicality to per-node Step is pinned by the kernel
+// differential suite and TestBatchStepMatchesStep.
+var _ alg.BatchStepper = (*Counter)(nil)
+
+type batchScratch struct {
+	fldBlock []uint64 // codec field 0 per correct node (raw, pre-mod)
+	clockKey []uint64 // block-clock tally key per correct node
+	regDec   []uint64 // decoded consensus-register report per correct node
+
+	clockTally [2]*alg.DenseTally // per-block clock votes, domain 4τ
+	regTally   *alg.DenseTally    // consensus-register votes, domain c (+⊥)
+
+	sharedR    [2]uint64 // round-constant clock reads of fault-free blocks
+	sharedOK   [2]bool
+	blockFault [2]bool
+
+	colOf      []int32  // colOf[u] = column of faulty sender u in Patches + 1
+	patchClock []uint64 // per-column clock key of this receiver's view
+	patchReg   []uint64 // per-column decoded register report
+
+	newSub     []alg.State // block-counter results per node
+	subBase    []alg.State
+	subNext    []alg.State
+	subSenders []int
+	subCols    []int
+	subFlat    []alg.State
+	subRows    [][]alg.State
+	subP       alg.Patches
+
+	// pack avoids the variadic-slice allocation of MustPack(a, b, ...):
+	// passing a scratch slice through ... reuses its backing array.
+	pack [5]uint64
+}
+
+func (e *Counter) getScratch() *batchScratch {
+	if sc, ok := e.pool.Get().(*batchScratch); ok {
+		return sc
+	}
+	maxBlock := e.n0
+	if e.n-e.n0 > maxBlock {
+		maxBlock = e.n - e.n0
+	}
+	sc := &batchScratch{
+		fldBlock:   make([]uint64, e.n),
+		clockKey:   make([]uint64, e.n),
+		regDec:     make([]uint64, e.n),
+		regTally:   alg.NewDenseTally(e.c),
+		colOf:      make([]int32, e.n),
+		patchClock: make([]uint64, e.n),
+		patchReg:   make([]uint64, e.n),
+		newSub:     make([]alg.State, e.n),
+		subBase:    make([]alg.State, maxBlock),
+		subNext:    make([]alg.State, maxBlock),
+		subSenders: make([]int, 0, maxBlock),
+		subCols:    make([]int, 0, maxBlock),
+		subFlat:    make([]alg.State, maxBlock*maxBlock+1),
+		subRows:    make([][]alg.State, maxBlock),
+	}
+	sc.clockTally[0] = alg.NewDenseTally(e.period)
+	sc.clockTally[1] = alg.NewDenseTally(e.period)
+	return sc
+}
+
+// StepAll implements alg.BatchStepper.
+func (e *Counter) StepAll(next, base []alg.State, p *alg.Patches, rngs []*rand.Rand) {
+	sc := e.getScratch()
+	defer func() {
+		for _, u := range p.Senders {
+			sc.colOf[u] = 0
+		}
+		e.pool.Put(sc)
+	}()
+
+	for col, u := range p.Senders {
+		sc.colOf[u] = int32(col) + 1
+	}
+	sc.blockFault[0], sc.blockFault[1] = false, false
+	for _, u := range p.Senders {
+		sc.blockFault[e.BlockOf(u)] = true
+	}
+
+	// (1) Decode every correct state once; build the shared tallies.
+	sc.regTally.Reset()
+	sc.clockTally[0].Reset()
+	sc.clockTally[1].Reset()
+	for u := 0; u < e.n; u++ {
+		if p.Faulty[u] {
+			continue
+		}
+		st := base[u]
+		fld := e.cdc.Field(st, fieldBlock)
+		sc.fldBlock[u] = fld
+		bi := e.BlockOf(u)
+		lo, _ := e.blockRange(bi)
+		sub := e.sub[bi]
+		key := uint64(sub.Output(u-lo, fld%sub.StateSpace()))
+		sc.clockKey[u] = key
+		sc.clockTally[bi].Add(key)
+		dec := e.cons.DecodeReport(e.cdc.Field(st, fieldA))
+		sc.regDec[u] = dec
+		sc.regTally.Add(dec)
+	}
+
+	// (2) A block without faulty members reads identically at every
+	// receiver: resolve its clock once per round.
+	for bi := 0; bi < 2; bi++ {
+		sc.sharedOK[bi] = false
+		if !sc.blockFault[bi] {
+			sc.sharedR[bi], sc.sharedOK[bi] = e.readClockTally(bi, sc.clockTally[bi])
+		}
+	}
+
+	// (3) Advance both block counters.
+	e.batchSubSteps(sc, p, rngs)
+
+	// (4) Clock reads, sweep pointers and the consensus/increment
+	// branch per receiver.
+	for v := 0; v < e.n; v++ {
+		if p.Faulty[v] {
+			continue
+		}
+		row := p.Values[v]
+		for col, u := range p.Senders {
+			s := row[col]
+			bi := e.BlockOf(u)
+			lo, _ := e.blockRange(bi)
+			sub := e.sub[bi]
+			key := uint64(sub.Output(u-lo, e.cdc.Field(s, fieldBlock)%sub.StateSpace()))
+			sc.patchClock[col] = key
+			sc.clockTally[bi].Add(key)
+			dec := e.cons.DecodeReport(e.cdc.Field(s, fieldA))
+			sc.patchReg[col] = dec
+			sc.regTally.Add(dec)
+		}
+
+		own := base[v]
+		var match [2]bool
+		var instr [2]uint64
+		var nextP [2]uint64
+		for bi := 0; bi < 2; bi++ {
+			pp := e.cdc.Field(own, fieldP0+bi)
+			var r uint64
+			var ok bool
+			if sc.blockFault[bi] {
+				r, ok = e.readClockTally(bi, sc.clockTally[bi])
+			} else {
+				r, ok = sc.sharedR[bi], sc.sharedOK[bi]
+			}
+			start := e.windowStart(bi)
+			if pp < e.tau && ok && r == (start+pp)%e.period {
+				match[bi] = true
+				instr[bi] = pp
+			}
+			switch {
+			case ok && r == (start+e.period-1)%e.period:
+				nextP[bi] = 0
+			case match[bi] && pp+1 < e.tau:
+				nextP[bi] = pp + 1
+			default:
+				nextP[bi] = e.pointerIdle()
+			}
+		}
+
+		regs := e.Registers(own)
+		if match[0] || match[1] {
+			ins := instr[0]
+			if !match[0] {
+				ins = instr[1]
+			}
+			king := int(phaseking.KingOf(ins % e.tau))
+			var kingA uint64
+			if c := sc.colOf[king]; c != 0 {
+				kingA = sc.patchReg[c-1]
+			} else {
+				kingA = sc.regDec[king]
+			}
+			regs = e.cons.StepCounts(regs, ins, sc.regTally, kingA)
+		} else {
+			regs.A = phaseking.Increment(regs.A, e.c)
+		}
+		aField, dField := regs.Encode(e.c)
+		sc.pack[0], sc.pack[1], sc.pack[2], sc.pack[3], sc.pack[4] = sc.newSub[v], nextP[0], nextP[1], aField, dField
+		next[v] = e.cdc.MustPack(sc.pack[:]...)
+
+		for col, u := range p.Senders {
+			sc.clockTally[e.BlockOf(u)].Remove(sc.patchClock[col])
+			sc.regTally.Remove(sc.patchReg[col])
+		}
+	}
+}
+
+// readClockTally is ReadClock over a prebuilt (and possibly patched)
+// tally: the counter output reported by an absolute majority of the
+// block's nodes that also clears the block's quorum, reduced modulo
+// the schedule period.
+func (e *Counter) readClockTally(bi int, tally *alg.DenseTally) (uint64, bool) {
+	val, ok := tally.Majority()
+	if !ok || tally.Count(val) < e.quora[bi] {
+		return 0, false
+	}
+	return val % e.period, true
+}
+
+// batchSubSteps advances both blocks' counters, sharing one extracted
+// sub-base per block and recursing through StepAll when the block
+// counter supports it (nested ecount levels and the MaxStep leaves
+// both do).
+func (e *Counter) batchSubSteps(sc *batchScratch, p *alg.Patches, rngs []*rand.Rand) {
+	for bi := 0; bi < 2; bi++ {
+		lo, size := e.blockRange(bi)
+		sub := e.sub[bi]
+		space := sub.StateSpace()
+		for j := 0; j < size; j++ {
+			sc.subBase[j] = sc.fldBlock[lo+j] % space
+		}
+		sc.subSenders = sc.subSenders[:0]
+		sc.subCols = sc.subCols[:0]
+		for col, u := range p.Senders {
+			if u >= lo && u < lo+size {
+				sc.subSenders = append(sc.subSenders, u-lo)
+				sc.subCols = append(sc.subCols, col)
+			}
+		}
+		snf := len(sc.subSenders)
+		flat := sc.subFlat[:size*snf]
+		for j := 0; j < size; j++ {
+			v := lo + j
+			if p.Faulty[v] {
+				sc.subRows[j] = nil
+				continue
+			}
+			row := flat[j*snf : (j+1)*snf : (j+1)*snf]
+			prow := p.Values[v]
+			for jj, col := range sc.subCols {
+				row[jj] = e.cdc.Field(prow[col], fieldBlock) % space
+			}
+			sc.subRows[j] = row
+		}
+		sc.subP = alg.Patches{
+			Faulty:  p.Faulty[lo : lo+size],
+			Senders: sc.subSenders,
+			Values:  sc.subRows[:size],
+		}
+		if bs, ok := sub.(alg.BatchStepper); ok {
+			bs.StepAll(sc.subNext[:size], sc.subBase[:size], &sc.subP, rngs[lo:lo+size])
+		} else {
+			for j := 0; j < size; j++ {
+				if p.Faulty[lo+j] {
+					continue
+				}
+				sc.subP.Apply(sc.subBase[:size], j)
+				sc.subNext[j] = sub.Step(j, sc.subBase[:size], rngs[lo+j])
+			}
+		}
+		for j := 0; j < size; j++ {
+			if !p.Faulty[lo+j] {
+				sc.newSub[lo+j] = sc.subNext[j]
+			}
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package ecount
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/synchcount/synchcount/internal/alg"
+)
+
+// TestBatchStepMatchesStep drives the counter's StepAll and per-node
+// Step over random configurations — arbitrary states, fault sets and
+// per-receiver forged values — and requires identical next states, on
+// both recursion shapes (the balanced split recurses through nested
+// ecount counters, the chain split through a MaxStep leaf every
+// level).
+func TestBatchStepMatchesStep(t *testing.T) {
+	balanced, err := New(10, 3, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chain, err := NewChain(10, 3, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name string
+		a    *Counter
+	}{
+		{"balanced", balanced},
+		{"chain", chain},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			a := tc.a
+			n := a.N()
+			space := a.StateSpace()
+			rng := rand.New(rand.NewSource(31))
+			for trial := 0; trial < 96; trial++ {
+				states := make([]alg.State, n)
+				for i := range states {
+					states[i] = rng.Uint64() % space
+				}
+				faulty := make([]bool, n)
+				var senders []int
+				for len(senders) < rng.Intn(a.F()+2) {
+					u := rng.Intn(n)
+					if !faulty[u] {
+						faulty[u] = true
+						senders = append(senders[:0], collect(faulty)...)
+					}
+				}
+				values := make([][]alg.State, n)
+				for v := 0; v < n; v++ {
+					if faulty[v] {
+						continue
+					}
+					row := make([]alg.State, len(senders))
+					for j := range row {
+						row[j] = rng.Uint64() % space
+					}
+					values[v] = row
+				}
+				p := &alg.Patches{Faulty: faulty, Senders: senders, Values: values}
+
+				wantNext := make([]alg.State, n)
+				recv := make([]alg.State, n)
+				for v := 0; v < n; v++ {
+					if faulty[v] {
+						continue
+					}
+					copy(recv, states)
+					p.Apply(recv, v)
+					wantNext[v] = a.Step(v, recv, nil)
+				}
+
+				gotNext := make([]alg.State, n)
+				a.StepAll(gotNext, states, p, make([]*rand.Rand, n))
+				for v := 0; v < n; v++ {
+					if !faulty[v] && gotNext[v] != wantNext[v] {
+						t.Fatalf("trial %d: node %d: StepAll %d, Step %d (faults %v)",
+							trial, v, gotNext[v], wantNext[v], senders)
+					}
+				}
+			}
+		})
+	}
+}
+
+func collect(faulty []bool) []int {
+	var out []int
+	for i, f := range faulty {
+		if f {
+			out = append(out, i)
+		}
+	}
+	return out
+}

@@ -124,6 +124,20 @@ func (c *Consensus) Step(regs phaseking.Registers, r uint64, observed []uint64) 
 	return phaseking.Step(c.cfg, regs, r, tally, kingA)
 }
 
+// StepCounts is Step for callers that already hold the round's tally
+// of decoded register reports (keys as produced by DecodeReport) and
+// the king's decoded report — the entry point of the vectorized round
+// kernel, which shares one pooled tally across all receivers instead
+// of rebuilding a map per node.
+func (c *Consensus) StepCounts(regs phaseking.Registers, r uint64, tally alg.Counts, kingA uint64) phaseking.Registers {
+	return phaseking.Step(c.cfg, regs, r%c.Rounds(), tally, kingA)
+}
+
+// DecodeReport maps an encoded register report to the tally key space
+// consumed by Step/StepCounts: finite proposals are their own key,
+// anything at or above the modulus is the reset state ⊥ (Infinity).
+func (c *Consensus) DecodeReport(a uint64) uint64 { return c.decode(a) }
+
 // Decide unshifts the counting frame after a full sweep: a register
 // that ran instructions 0..Rounds()-1 decided the value it would have
 // held at instruction 0. The reset state decides the default 0.

@@ -3,6 +3,7 @@ package ecount
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"github.com/synchcount/synchcount/internal/alg"
 	"github.com/synchcount/synchcount/internal/codec"
@@ -77,6 +78,10 @@ type Counter struct {
 	cons  *Consensus
 	cdc   *codec.Codec // fields: block state, p0 ∈ [τ+1], p1 ∈ [τ+1], a ∈ [c+1], d ∈ {0,1}
 	bound uint64
+
+	// pool recycles the batch-stepping working set (see batch.go)
+	// across rounds and concurrent campaign trials.
+	pool sync.Pool
 }
 
 // codec field indices of the packed node state.

@@ -114,7 +114,11 @@ func KingOf(r uint64) uint64 { return r / 3 }
 //     (Infinity if the king reported ∞ or garbage).
 //
 // It returns the updated registers. The function is pure.
-func Step(cfg Config, regs Registers, r uint64, tally *alg.Tally, kingA uint64) Registers {
+//
+// The tally is consumed through the read-only alg.Counts interface, so
+// callers may supply the map-backed alg.Tally or the slice-backed
+// alg.DenseTally of the vectorized kernel interchangeably.
+func Step(cfg Config, regs Registers, r uint64, tally alg.Counts, kingA uint64) Registers {
 	switch InstructionPhase(r) {
 	case 0:
 		// I_{3ℓ}: 1. If fewer than Strong nodes sent a[v], set a[v] ← ∞.

@@ -25,6 +25,12 @@ import (
 	"github.com/synchcount/synchcount/internal/counter"
 )
 
+// Every stack Build produces batch-steps: boost.Counter implements
+// alg.BatchStepper recursively (each level shares its per-round vote
+// tallies and devirtualizes into the level below), so campaigns over
+// recursion plans run on the simulator's vectorized kernel end to end.
+var _ alg.BatchStepper = (*boost.Counter)(nil)
+
 // Level is one application of Theorem 1.
 type Level struct {
 	// K is the number of blocks at this level (each a copy of the

@@ -59,6 +59,13 @@ func TestConformance(t *testing.T) {
 				if err != nil {
 					t.Fatalf("cell %v: %v", cell, err)
 				}
+				// Every registered stack must ride the vectorized round
+				// kernel: per-node Step remains the semantic reference,
+				// but a registered algorithm without the batch hook
+				// silently degrades every campaign to the slow path.
+				if _, ok := a.(alg.BatchStepper); !ok {
+					t.Fatalf("cell %v: %T does not implement alg.BatchStepper", cell, a)
+				}
 				bound, hasBound := uint64(0), false
 				if b, ok := a.(alg.Bound); ok {
 					bound, hasBound = b.StabilisationBound(), true

@@ -1,0 +1,8 @@
+package sim
+
+// RunReference exposes the retained scalar reference loop to the
+// external test package: the kernel-equivalence differential suite
+// (kernel_differential_test.go) and the BenchmarkKernel_* comparisons
+// hold the vectorized kernel bit-identical to — and measure it against
+// — this path. It honours cfg.StopEarly as set by the caller.
+func RunReference(cfg Config) (Result, error) { return runReference(cfg) }

@@ -1,0 +1,128 @@
+package sim
+
+import (
+	"fmt"
+
+	"github.com/synchcount/synchcount/internal/adversary"
+	"github.com/synchcount/synchcount/internal/alg"
+)
+
+// kernelRound delivers one round of messages and steps every correct
+// node through the vectorized path:
+//
+//  1. Fan-out: correct nodes broadcast — their states are copied into
+//     one shared receive base — while the adversary's per-receiver
+//     choices for the ≤ f faulty slots are collected into the patch
+//     matrix. Total copies: O(n·(f+1)) instead of the reference loop's
+//     O(n²).
+//  2. Stepping: algorithms implementing alg.BatchStepper advance all
+//     correct nodes in one devirtualized call, sharing the per-round
+//     vote tallies across receivers; everything else falls back to the
+//     per-node Step on the patched base.
+//
+// The adversary is consulted in exactly the reference order — receivers
+// ascending, faulty senders ascending within each receiver — so
+// strategies drawing from the shared adversary rng produce identical
+// streams, and the whole round is bit-identical to the reference loop.
+func kernelRound(a alg.Algorithm, batch alg.BatchStepper, adv adversary.Adversary, view *adversary.View, sc *runScratch, space uint64) error {
+	n := len(sc.states)
+	base := sc.recv
+	copy(base, sc.states)
+	p := &sc.patches
+	if rower, ok := adv.(adversary.RowMessenger); ok && len(p.Senders) > 0 {
+		for v := 0; v < n; v++ {
+			if sc.faulty[v] {
+				continue
+			}
+			row := p.Values[v]
+			rower.MessageRow(view, p.Senders, v, row)
+			for j := range row {
+				// Branch instead of unconditional division: adversaries
+				// almost always forge in-range states, and a hardware
+				// divide per faulty slot per receiver is the single
+				// hottest instruction of a cheap-algorithm round.
+				if row[j] >= space {
+					row[j] %= space
+				}
+			}
+		}
+	} else {
+		for v := 0; v < n; v++ {
+			if sc.faulty[v] {
+				continue
+			}
+			row := p.Values[v]
+			for j, u := range p.Senders {
+				row[j] = adv.Message(view, u, v) % space
+			}
+		}
+	}
+
+	next := sc.next
+	if batch != nil {
+		batch.StepAll(next, base, p, sc.nodeRngs)
+		for v := 0; v < n; v++ {
+			if !sc.faulty[v] && next[v] >= space {
+				return fmt.Errorf("sim: node %d stepped outside state space (%d >= %d)", v, next[v], space)
+			}
+		}
+	} else {
+		for v := 0; v < n; v++ {
+			if sc.faulty[v] {
+				continue
+			}
+			p.Apply(base, v)
+			next[v] = a.Step(v, base, sc.nodeRngs[v])
+			if next[v] >= space {
+				return fmt.Errorf("sim: node %d stepped outside state space (%d >= %d)", v, next[v], space)
+			}
+		}
+	}
+	for v := 0; v < n; v++ {
+		if sc.faulty[v] {
+			next[v] = sc.states[v]
+		}
+	}
+	return nil
+}
+
+// preparePatches provisions the per-round patch matrix for the current
+// fault mask: the ascending faulty-sender index list and one
+// len(Senders) row per correct receiver, all carved out of a single
+// pooled backing array.
+func (s *runScratch) preparePatches(n int) {
+	s.faultyIdx = s.faultyIdx[:0]
+	for u, f := range s.faulty {
+		if f {
+			s.faultyIdx = append(s.faultyIdx, u)
+		}
+	}
+	nf := len(s.faultyIdx)
+	if cap(s.patchFlat) < n*nf || s.patchFlat == nil {
+		// Always at least capacity 1, so zero-length rows still carry a
+		// non-nil pointer: nil rows are the "faulty receiver" marker of
+		// the alg.Patches contract.
+		size := n * nf
+		if size == 0 {
+			size = 1
+		}
+		s.patchFlat = make([]alg.State, size)
+	}
+	if cap(s.patchRows) < n {
+		s.patchRows = make([][]alg.State, n)
+	}
+	s.patchRows = s.patchRows[:n]
+	flat := s.patchFlat[:n*nf]
+	for v := 0; v < n; v++ {
+		if s.faulty[v] {
+			s.patchRows[v] = nil
+			continue
+		}
+		s.patchRows[v] = flat[v*nf : (v+1)*nf : (v+1)*nf]
+	}
+	s.patches = alg.Patches{
+		Faulty:  s.faulty,
+		Senders: s.faultyIdx,
+		Values:  s.patchRows,
+	}
+}

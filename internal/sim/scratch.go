@@ -29,6 +29,15 @@ type runScratch struct {
 	initRng  *rand.Rand
 	advRng   *rand.Rand
 	nodeRngs []*rand.Rand
+	nodeSrcs []*lazySource
+
+	// Vectorized-kernel working set (see kernel.go): the ascending
+	// faulty-sender list and the per-receiver patch matrix, all backed
+	// by pooled storage.
+	faultyIdx []int
+	patchFlat []alg.State
+	patchRows [][]alg.State
+	patches   alg.Patches
 }
 
 var scratchPool sync.Pool
@@ -78,20 +87,66 @@ func (s *runScratch) resize(n int) {
 		s.advRng = rand.New(rand.NewSource(0))
 	}
 	for len(s.nodeRngs) < n {
-		s.nodeRngs = append(s.nodeRngs, rand.New(rand.NewSource(0)))
+		src := &lazySource{inner: rand.NewSource(0).(rand.Source64)}
+		s.nodeSrcs = append(s.nodeSrcs, src)
+		s.nodeRngs = append(s.nodeRngs, rand.New(src))
 	}
+}
+
+// lazySource defers the expensive seed scramble of math/rand (~600
+// mixing iterations per source) until the stream is first consulted.
+// Per-node streams are seeded every trial but only consulted by
+// randomised algorithms in rounds that actually flip coins, so trials
+// skip the scramble for every node that stays silent. Values are
+// bit-identical to an eagerly seeded source: Seed only records the
+// seed, and the first draw performs exactly the scramble the eager
+// path would have.
+type lazySource struct {
+	inner   rand.Source64
+	pending int64
+	dirty   bool
+}
+
+func (l *lazySource) Seed(seed int64) { l.pending, l.dirty = seed, true }
+
+func (l *lazySource) materialize() {
+	if l.dirty {
+		l.inner.Seed(l.pending)
+		l.dirty = false
+	}
+}
+
+func (l *lazySource) Int63() int64 {
+	l.materialize()
+	return l.inner.Int63()
+}
+
+func (l *lazySource) Uint64() uint64 {
+	l.materialize()
+	return l.inner.Uint64()
 }
 
 // seedAll reproduces run()'s historical seed derivation: independent
 // streams for initial states, the adversary and every node, all drawn
 // from the master seed in a fixed order.
-func (s *runScratch) seedAll(seed int64, n int) (advBase int64) {
+//
+// withNodeRngs skips the per-node streams: deterministic algorithms
+// never consult them, and reseeding n math/rand sources is by far the
+// most expensive part of starting a trial (~600 seed-scrambling
+// iterations each). The node draws are the last thing seedAll takes
+// from the master seeder, so skipping them leaves every other stream —
+// and therefore every historical result — untouched.
+func (s *runScratch) seedAll(seed int64, n int, withNodeRngs bool) (advBase int64) {
 	s.seeder.Seed(seed)
 	s.initRng.Seed(s.seeder.Int63())
 	s.advRng.Seed(s.seeder.Int63())
 	advBase = s.seeder.Int63()
-	for i := 0; i < n; i++ {
-		s.nodeRngs[i].Seed(s.seeder.Int63())
+	if withNodeRngs {
+		for i := 0; i < n; i++ {
+			// Record the seed only; the scramble happens lazily on the
+			// node's first draw (see lazySource).
+			s.nodeSrcs[i].Seed(s.seeder.Int63())
+		}
 	}
 	return advBase
 }

@@ -123,7 +123,22 @@ func RunFull(cfg Config) (Result, error) {
 	return run(cfg)
 }
 
-func run(cfg Config) (Result, error) {
+// run executes the simulation on the vectorized round kernel: one
+// shared receive base per round (correct nodes broadcast, so all
+// receivers observe the same state from them) plus per-receiver
+// patches of the ≤ f faulty slots — O(n·(f+1)) message fan-out instead
+// of the reference loop's O(n²) per-receiver copies — with batch
+// stepping for algorithms implementing alg.BatchStepper.
+func run(cfg Config) (Result, error) { return runMode(cfg, true) }
+
+// runReference executes the simulation on the historical scalar loop:
+// a fresh O(n) receive vector and an interface Step call per receiver
+// per round. It is the semantic reference the kernel is held
+// bit-identical to (see kernel_differential_test.go) and the baseline
+// the BenchmarkKernel_* comparisons measure against.
+func runReference(cfg Config) (Result, error) { return runMode(cfg, false) }
+
+func runMode(cfg Config, vectorized bool) (Result, error) {
 	a := cfg.Alg
 	if a == nil {
 		return Result{}, errors.New("sim: nil algorithm")
@@ -167,8 +182,11 @@ func run(cfg Config) (Result, error) {
 		window = DefaultWindowFor(c)
 	}
 
-	// Independent, reproducible randomness streams.
-	advBase := sc.seedAll(cfg.Seed, n)
+	// Independent, reproducible randomness streams. Deterministic
+	// algorithms never touch the per-node streams, so their (costly)
+	// reseeding is skipped — the node seeds are the tail of the master
+	// derivation, leaving all other streams bit-identical.
+	advBase := sc.seedAll(cfg.Seed, n, !alg.IsDeterministic(a))
 	initRng, advRng, nodeRngs := sc.initRng, sc.advRng, sc.nodeRngs
 
 	space := a.StateSpace()
@@ -213,6 +231,12 @@ func run(cfg Config) (Result, error) {
 	}
 	view.SetBaseSeed(advBase)
 
+	var batch alg.BatchStepper
+	if vectorized {
+		batch, _ = a.(alg.BatchStepper)
+		sc.preparePatches(n)
+	}
+
 	det := NewDetector(c, window)
 
 	for round := uint64(0); round < cfg.MaxRounds; round++ {
@@ -248,21 +272,27 @@ func run(cfg Config) (Result, error) {
 
 		// Deliver messages and step every correct node.
 		view.Round = round
-		for v := 0; v < n; v++ {
-			if faulty[v] {
-				next[v] = states[v]
-				continue
+		if vectorized {
+			if err := kernelRound(a, batch, adv, view, sc, space); err != nil {
+				return Result{}, err
 			}
-			for u := 0; u < n; u++ {
-				if faulty[u] {
-					recv[u] = adv.Message(view, u, v) % space
-				} else {
-					recv[u] = states[u]
+		} else {
+			for v := 0; v < n; v++ {
+				if faulty[v] {
+					next[v] = states[v]
+					continue
 				}
-			}
-			next[v] = a.Step(v, recv, nodeRngs[v])
-			if next[v] >= space {
-				return Result{}, fmt.Errorf("sim: node %d stepped outside state space (%d >= %d)", v, next[v], space)
+				for u := 0; u < n; u++ {
+					if faulty[u] {
+						recv[u] = adv.Message(view, u, v) % space
+					} else {
+						recv[u] = states[u]
+					}
+				}
+				next[v] = a.Step(v, recv, nodeRngs[v])
+				if next[v] >= space {
+					return Result{}, fmt.Errorf("sim: node %d stepped outside state space (%d >= %d)", v, next[v], space)
+				}
 			}
 		}
 		copy(states, next)
@@ -271,11 +301,10 @@ func run(cfg Config) (Result, error) {
 	return res, nil
 }
 
+// uniformState draws a uniform initial state; see alg.UniformState for
+// the overflow-safe draw rule shared with the adversary package.
 func uniformState(rng *rand.Rand, space uint64) alg.State {
-	if space <= 1 {
-		return 0
-	}
-	return alg.State(rng.Int63n(int64(space)))
+	return alg.UniformState(rng, space)
 }
 
 // Stats aggregates stabilisation times across repeated runs.

@@ -74,7 +74,27 @@ type (
 	Adversary = adversary.Adversary
 	// AdversaryView is the omniscient per-round snapshot adversaries see.
 	AdversaryView = adversary.View
+	// BatchStepper is the vectorized transition hook: algorithms that
+	// implement it step all correct nodes of a round in one call on the
+	// simulator's round kernel, sharing vote tallies across receivers.
+	// Every built-in construction implements it.
+	BatchStepper = alg.BatchStepper
+	// MessagePatches carries one round's per-receiver faulty-sender
+	// values — the O(n·(f+1)) fan-out representation of a broadcast
+	// round consumed by BatchStepper.
+	MessagePatches = alg.Patches
+	// RowMessenger is the adversary-side vectorization hook: strategies
+	// that implement it deliver a receiver's whole faulty-sender row in
+	// one call. All built-in strategies implement it.
+	RowMessenger = adversary.RowMessenger
+	// DenseTally is the slice-backed, removal-capable majority tally
+	// the batch steppers share across receivers.
+	DenseTally = alg.DenseTally
 )
+
+// NewDenseTally returns a DenseTally for values in [0, domain); see
+// internal/alg for the sparse-fallback and Infinity conventions.
+func NewDenseTally(domain uint64) *DenseTally { return alg.NewDenseTally(domain) }
 
 // Simulation front-end (see internal/sim).
 type (
