@@ -1,20 +1,36 @@
 // Command benchjson converts `go test -bench` output into the
 // repository's benchmark-trajectory JSON artifacts (BENCH_<pr>.json)
 // and doubles as the CI regression gate for the vectorized round
-// kernel.
+// kernel and the fast-forward engine.
 //
 // It reads benchmark output on stdin, parses every benchmark line into
-// name/iterations/metrics, and pairs BenchmarkKernel_Reference_<case>
-// with BenchmarkKernel_Vectorized_<case> rows into speedup
-// comparisons:
+// name/iterations/metrics, and pairs same-machine comparison rows into
+// speedup comparisons:
 //
-//	go test -run '^$' -bench '^BenchmarkKernel_' -benchmem ./internal/sim |
-//	    benchjson -pr 4 -out BENCH_4.json
+//   - BenchmarkKernel_Reference_<case> vs BenchmarkKernel_Vectorized_<case>
+//     (kind "kernel": the scalar loop against the vectorized kernel)
 //
-// With -min-speedup S it exits non-zero when any paired case speeds up
+//   - BenchmarkFF_Off_<case> vs BenchmarkFF_On_<case>
+//     (kind "fastforward": the plain kernel against the
+//     periodicity-aware fast-forward engine)
+//
+//     go test -run '^$' -bench '^Benchmark(Kernel|FF)_' -benchmem ./internal/sim |
+//     benchjson -pr 5 -out BENCH_5.json
+//
+// With -min-speedup S (kernel pairs) and -min-ff-speedup S
+// (fastforward pairs) it exits non-zero when any paired case speeds up
 // by less than S× — the `make bench-smoke` CI job runs the benchmarks
-// at a reduced count and uses this to catch kernel regressions without
-// flaking on absolute timings.
+// at a reduced count and uses this to catch regressions without
+// flaking on absolute timings, since both sides of a pair run on the
+// same machine in the same invocation.
+//
+// With -baseline BENCH_<k>.json it additionally diffs the current run
+// against a previous trajectory artifact benchmark by benchmark,
+// reporting per-benchmark speedups (baseline ns/op ÷ current ns/op)
+// for every name present in both — the `make bench-diff` mode. Those
+// diffs compare *across* runs (and possibly machines), so they are
+// informational by default; -min-speedup also gates them when
+// -baseline is given.
 package main
 
 import (
@@ -34,10 +50,14 @@ type Benchmark struct {
 	Metrics    map[string]float64 `json:"metrics"`
 }
 
-// Comparison pairs the reference and vectorized measurements of one
-// benchmark case.
+// Comparison pairs the slow-side and fast-side measurements of one
+// benchmark case: reference vs vectorized for kernel pairs, engine-off
+// vs engine-on for fastforward pairs (the reference_/vectorized_
+// field names predate the second kind and are kept for artifact
+// compatibility; Kind disambiguates).
 type Comparison struct {
 	Case          string  `json:"case"`
+	Kind          string  `json:"kind,omitempty"`
 	ReferenceNs   float64 `json:"reference_ns_per_op"`
 	VectorizedNs  float64 `json:"vectorized_ns_per_op"`
 	Speedup       float64 `json:"speedup"`
@@ -47,27 +67,46 @@ type Comparison struct {
 	VecNsPerRound float64 `json:"vectorized_ns_per_round,omitempty"`
 }
 
+// BaselineDiff is one benchmark's cross-artifact comparison: the
+// committed baseline's ns/op against this run's, for every benchmark
+// name present in both.
+type BaselineDiff struct {
+	Name       string  `json:"name"`
+	BaselineNs float64 `json:"baseline_ns_per_op"`
+	CurrentNs  float64 `json:"current_ns_per_op"`
+	Speedup    float64 `json:"speedup"`
+}
+
 // Report is the BENCH_<pr>.json schema.
 type Report struct {
-	Schema      string       `json:"schema"`
-	PR          int          `json:"pr"`
-	Goos        string       `json:"goos,omitempty"`
-	Goarch      string       `json:"goarch,omitempty"`
-	CPU         string       `json:"cpu,omitempty"`
-	Pkg         string       `json:"pkg,omitempty"`
-	Benchmarks  []Benchmark  `json:"benchmarks"`
-	Comparisons []Comparison `json:"comparisons"`
+	Schema        string         `json:"schema"`
+	PR            int            `json:"pr"`
+	Goos          string         `json:"goos,omitempty"`
+	Goarch        string         `json:"goarch,omitempty"`
+	CPU           string         `json:"cpu,omitempty"`
+	Pkg           string         `json:"pkg,omitempty"`
+	Benchmarks    []Benchmark    `json:"benchmarks"`
+	Comparisons   []Comparison   `json:"comparisons"`
+	BaselinePR    int            `json:"baseline_pr,omitempty"`
+	BaselineDiffs []BaselineDiff `json:"baseline_diffs,omitempty"`
 }
 
 const (
-	refPrefix = "BenchmarkKernel_Reference_"
-	vecPrefix = "BenchmarkKernel_Vectorized_"
+	refPrefix   = "BenchmarkKernel_Reference_"
+	vecPrefix   = "BenchmarkKernel_Vectorized_"
+	ffOffPrefix = "BenchmarkFF_Off_"
+	ffOnPrefix  = "BenchmarkFF_On_"
+
+	kindKernel      = "kernel"
+	kindFastForward = "fastforward"
 )
 
 func main() {
 	pr := flag.Int("pr", 0, "PR number stamped into the artifact")
 	out := flag.String("out", "", "output path for the JSON artifact ('-' for stdout, empty for check-only)")
-	minSpeedup := flag.Float64("min-speedup", 0, "fail unless every Reference/Vectorized pair speeds up at least this much")
+	minSpeedup := flag.Float64("min-speedup", 0, "fail unless every kernel Reference/Vectorized pair (and, with -baseline, every baseline diff) speeds up at least this much")
+	minFFSpeedup := flag.Float64("min-ff-speedup", 0, "fail unless every fast-forward Off/On pair speeds up at least this much")
+	baseline := flag.String("baseline", "", "previous BENCH_<k>.json artifact to diff this run against benchmark by benchmark")
 	flag.Parse()
 
 	report, err := parse(bufio.NewScanner(os.Stdin))
@@ -78,6 +117,12 @@ func main() {
 
 	if len(report.Benchmarks) == 0 {
 		fatal(fmt.Errorf("no benchmark lines on stdin (run with -bench and pipe the output here)"))
+	}
+
+	if *baseline != "" {
+		if err := diffBaseline(report, *baseline); err != nil {
+			fatal(err)
+		}
 	}
 
 	if *out != "" {
@@ -93,24 +138,89 @@ func main() {
 		}
 	}
 
-	if *minSpeedup > 0 {
-		if len(report.Comparisons) == 0 {
-			fatal(fmt.Errorf("-min-speedup set but no Reference/Vectorized pairs found"))
+	failed := false
+	gate := func(kind, flagName string, min float64) {
+		if min <= 0 {
+			return
 		}
-		failed := false
+		found := false
 		for _, c := range report.Comparisons {
+			if c.Kind != kind {
+				continue
+			}
+			found = true
 			status := "ok"
-			if c.Speedup < *minSpeedup {
+			if c.Speedup < min {
 				status = "FAIL"
 				failed = true
 			}
-			fmt.Fprintf(os.Stderr, "bench-smoke: %-24s speedup %.2fx (min %.2fx) %s\n",
-				c.Case, c.Speedup, *minSpeedup, status)
+			fmt.Fprintf(os.Stderr, "bench-smoke: %-11s %-28s speedup %6.2fx (min %.2fx) %s\n",
+				kind, c.Case, c.Speedup, min, status)
 		}
-		if failed {
-			fatal(fmt.Errorf("kernel speedup regression: at least one pair below %.2fx", *minSpeedup))
+		if !found {
+			fatal(fmt.Errorf("%s set but no %s pairs found", flagName, kind))
 		}
 	}
+	gate(kindKernel, "-min-speedup", *minSpeedup)
+	gate(kindFastForward, "-min-ff-speedup", *minFFSpeedup)
+	for _, d := range report.BaselineDiffs {
+		status := ""
+		if *minSpeedup > 0 {
+			status = " ok"
+			if d.Speedup < *minSpeedup {
+				status = " FAIL"
+				failed = true
+			}
+		}
+		fmt.Fprintf(os.Stderr, "bench-diff: %-44s vs PR %d: %12.0f -> %12.0f ns/op  %6.2fx%s\n",
+			d.Name, report.BaselinePR, d.BaselineNs, d.CurrentNs, d.Speedup, status)
+	}
+	if failed {
+		fatal(fmt.Errorf("speedup regression: at least one comparison below its gate"))
+	}
+}
+
+// diffBaseline loads a previous trajectory artifact and records the
+// per-benchmark ns/op speedup of this run against it for every
+// benchmark name present in both. Diffs cross runs and possibly
+// machines, so absent an explicit gate they are reported, not
+// enforced.
+func diffBaseline(report *Report, path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var base Report
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("baseline %s: %w", path, err)
+	}
+	if len(base.Benchmarks) == 0 {
+		return fmt.Errorf("baseline %s holds no benchmarks", path)
+	}
+	baseNs := make(map[string]float64, len(base.Benchmarks))
+	for _, b := range base.Benchmarks {
+		if ns := b.Metrics["ns/op"]; ns > 0 {
+			baseNs[b.Name] = ns
+		}
+	}
+	report.BaselinePR = base.PR
+	for _, b := range report.Benchmarks {
+		cur := b.Metrics["ns/op"]
+		prev, ok := baseNs[b.Name]
+		if !ok || cur <= 0 {
+			continue
+		}
+		report.BaselineDiffs = append(report.BaselineDiffs, BaselineDiff{
+			Name:       b.Name,
+			BaselineNs: prev,
+			CurrentNs:  cur,
+			Speedup:    prev / cur,
+		})
+	}
+	if len(report.BaselineDiffs) == 0 {
+		return fmt.Errorf("baseline %s shares no benchmarks with this run", path)
+	}
+	return nil
 }
 
 func parse(sc *bufio.Scanner) (*Report, error) {
@@ -171,37 +281,48 @@ func parseBenchLine(line string) (Benchmark, error) {
 	return b, nil
 }
 
-// pair matches Reference_<case> with Vectorized_<case> rows.
+// pairings lists the slow/fast prefix pairs and their comparison kind.
+var pairings = []struct {
+	kind string
+	slow string
+	fast string
+}{
+	{kindKernel, refPrefix, vecPrefix},
+	{kindFastForward, ffOffPrefix, ffOnPrefix},
+}
+
+// pair matches the slow-side row of each pairing with its fast-side
+// counterpart: Kernel_Reference_<case> with Kernel_Vectorized_<case>,
+// FF_Off_<case> with FF_On_<case>.
 func pair(benchmarks []Benchmark) []Comparison {
 	byName := map[string]Benchmark{}
-	var order []string
 	for _, b := range benchmarks {
 		byName[b.Name] = b
-		if strings.HasPrefix(b.Name, refPrefix) {
-			order = append(order, strings.TrimPrefix(b.Name, refPrefix))
-		}
 	}
 	var out []Comparison
-	for _, c := range order {
-		ref, okR := byName[refPrefix+c]
-		vec, okV := byName[vecPrefix+c]
-		if !okR || !okV {
-			continue
+	for _, p := range pairings {
+		for _, b := range benchmarks {
+			if !strings.HasPrefix(b.Name, p.slow) {
+				continue
+			}
+			c := strings.TrimPrefix(b.Name, p.slow)
+			slow, fast := b, byName[p.fast+c]
+			slowNs, fastNs := slow.Metrics["ns/op"], fast.Metrics["ns/op"]
+			if slowNs == 0 || fastNs == 0 {
+				continue
+			}
+			out = append(out, Comparison{
+				Case:          c,
+				Kind:          p.kind,
+				ReferenceNs:   slowNs,
+				VectorizedNs:  fastNs,
+				Speedup:       slowNs / fastNs,
+				RefAllocs:     slow.Metrics["allocs/op"],
+				VecAllocs:     fast.Metrics["allocs/op"],
+				RefNsPerRound: slow.Metrics["ns/round"],
+				VecNsPerRound: fast.Metrics["ns/round"],
+			})
 		}
-		refNs, vecNs := ref.Metrics["ns/op"], vec.Metrics["ns/op"]
-		if refNs == 0 || vecNs == 0 {
-			continue
-		}
-		out = append(out, Comparison{
-			Case:          c,
-			ReferenceNs:   refNs,
-			VectorizedNs:  vecNs,
-			Speedup:       refNs / vecNs,
-			RefAllocs:     ref.Metrics["allocs/op"],
-			VecAllocs:     vec.Metrics["allocs/op"],
-			RefNsPerRound: ref.Metrics["ns/round"],
-			VecNsPerRound: vec.Metrics["ns/round"],
-		})
 	}
 	return out
 }

@@ -2,6 +2,9 @@ package main
 
 import (
 	"bufio"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -65,5 +68,91 @@ func TestPairSkipsUnpaired(t *testing.T) {
 	}
 	if len(report.Comparisons) != 0 {
 		t.Fatalf("unpaired case produced a comparison: %+v", report.Comparisons)
+	}
+}
+
+const ffSample = `goos: linux
+pkg: github.com/synchcount/synchcount/internal/sim
+BenchmarkKernel_Reference_ECount_n64_f7-8   4  291102822 ns/op
+BenchmarkKernel_Vectorized_ECount_n64_f7-8 27   43831877 ns/op
+BenchmarkFF_Off_ECount_n16_f3_RunFull16k-8 10  217000000 ns/op
+BenchmarkFF_On_ECount_n16_f3_RunFull16k-8  10    8200000 ns/op
+BenchmarkFF_Off_Lonely-8                   10    1000000 ns/op
+PASS
+`
+
+// TestPairKinds checks that kernel pairs and fast-forward pairs are
+// matched under their own kinds and unpaired rows stay out.
+func TestPairKinds(t *testing.T) {
+	report, err := parse(bufio.NewScanner(strings.NewReader(ffSample)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Comparisons) != 2 {
+		t.Fatalf("paired %d comparisons, want 2: %+v", len(report.Comparisons), report.Comparisons)
+	}
+	kernel, ff := report.Comparisons[0], report.Comparisons[1]
+	if kernel.Kind != "kernel" || kernel.Case != "ECount_n64_f7" {
+		t.Fatalf("kernel pair = %+v", kernel)
+	}
+	if ff.Kind != "fastforward" || ff.Case != "ECount_n16_f3_RunFull16k" {
+		t.Fatalf("fastforward pair = %+v", ff)
+	}
+	if ff.Speedup < 26 || ff.Speedup > 27 {
+		t.Fatalf("fastforward speedup = %f, want ~26.5", ff.Speedup)
+	}
+}
+
+// TestDiffBaseline checks the -baseline mode: benchmarks shared with
+// the previous artifact produce per-benchmark speedups; disjoint or
+// empty baselines fail loudly.
+func TestDiffBaseline(t *testing.T) {
+	report, err := parse(bufio.NewScanner(strings.NewReader(ffSample)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	writeBaseline := func(name string, b Report) string {
+		data, err := json.Marshal(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	base := writeBaseline("base.json", Report{
+		PR: 4,
+		Benchmarks: []Benchmark{
+			{Name: "BenchmarkKernel_Vectorized_ECount_n64_f7", Metrics: map[string]float64{"ns/op": 87663754}},
+			{Name: "BenchmarkOnlyInBaseline", Metrics: map[string]float64{"ns/op": 1}},
+		},
+	})
+	if err := diffBaseline(report, base); err != nil {
+		t.Fatal(err)
+	}
+	if report.BaselinePR != 4 {
+		t.Fatalf("baseline PR = %d, want 4", report.BaselinePR)
+	}
+	if len(report.BaselineDiffs) != 1 {
+		t.Fatalf("diffs = %+v, want exactly the shared benchmark", report.BaselineDiffs)
+	}
+	d := report.BaselineDiffs[0]
+	if d.Name != "BenchmarkKernel_Vectorized_ECount_n64_f7" || d.Speedup < 1.9 || d.Speedup > 2.1 {
+		t.Fatalf("diff = %+v, want ~2x on the shared benchmark", d)
+	}
+
+	disjoint := writeBaseline("disjoint.json", Report{
+		Benchmarks: []Benchmark{{Name: "BenchmarkElsewhere", Metrics: map[string]float64{"ns/op": 5}}},
+	})
+	fresh, _ := parse(bufio.NewScanner(strings.NewReader(ffSample)))
+	if err := diffBaseline(fresh, disjoint); err == nil {
+		t.Fatal("disjoint baseline must fail")
+	}
+	empty := writeBaseline("empty.json", Report{})
+	if err := diffBaseline(fresh, empty); err == nil {
+		t.Fatal("empty baseline must fail")
 	}
 }

@@ -72,6 +72,10 @@ func run() error {
 		Window:      *window,
 		Seed:        *seed,
 		Workers:     *workers,
+		// -fastforward (default on): eligible cells cycle-detect and
+		// share confirmed cycles through the campaign's trajectory
+		// memo. Bit-identical results either way.
+		NoFastForward: !dist.FastForward(),
 	}
 	for _, tok := range splitList(*fsStr) {
 		f, err := strconv.Atoi(tok)

@@ -113,6 +113,11 @@ func run() error {
 			Window:    *window,
 			StopEarly: true,
 		}
+		// -fastforward (default on): deterministic runs under
+		// snapshottable adversaries detect their configuration cycle
+		// and conclude analytically, sharing detected cycles across
+		// the campaign's trials. Bit-identical results either way.
+		dist.ApplySim(&cfg, *algName)
 		switch {
 		case *advName == "saboteur":
 			if cnt == nil {

@@ -87,7 +87,7 @@ func run() error {
 		Seed: 1,
 		Scenarios: []synchcount.Scenario{
 			synchcount.SimScenarioFunc("leader-pointers", 1, func(int) (synchcount.SimConfig, error) {
-				return synchcount.SimConfig{
+				cfg := synchcount.SimConfig{
 					Alg:       cnt,
 					Init:      init,
 					MaxRounds: rounds,
@@ -100,7 +100,13 @@ func run() error {
 							timelines[u] = append(timelines[u], ptr)
 						}
 					},
-				}, nil
+				}
+				// -fastforward is accepted for flag parity with the
+				// other campaign commands, but the OnRound timeline
+				// recorder needs every round, so the engine stands
+				// down regardless of the toggle.
+				dist.ApplySim(&cfg, "fig1-boost")
+				return cfg, nil
 			}),
 		},
 	})

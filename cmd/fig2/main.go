@@ -86,6 +86,10 @@ func run() error {
 		Window:    128,
 		StopEarly: true,
 	}
+	// -fastforward (default on): the saboteur is snapshottable and the
+	// stack deterministic, so eligible trials cycle-detect instead of
+	// simulating every round. Bit-identical results either way.
+	dist.ApplySim(&cfg, "figure2")
 	if *advName == "saboteur" {
 		cfg.Adv = synchcount.Saboteur(top)
 	} else {

@@ -42,6 +42,10 @@ func run() error {
 		csvPath  = flag.String("csv", "", "write per-trial results as CSV to this file")
 		jsonPath = flag.String("json", "", "write the campaign result as JSON to this file")
 	)
+	// -fastforward is registered for flag parity with the broadcast
+	// campaign commands but has no effect here: the fast-forward
+	// engine rides the broadcast simulator, and pulling-model runs use
+	// internal/pull.
 	dist := campaigncli.Register(flag.CommandLine)
 	flag.Parse()
 	out = dist.HumanOut()

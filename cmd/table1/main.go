@@ -76,13 +76,13 @@ func run() error {
 	}
 	var rows []measuredRow
 	for _, r := range randomRows {
-		row, err := randomRow(*trials, *seed, r.label, r.n, r.f, r.biased)
+		row, err := randomRow(dist, *trials, *seed, r.label, r.n, r.f, r.biased)
 		if err != nil {
 			return err
 		}
 		rows = append(rows, row)
 	}
-	optRow, err := optimalRow(*trials, *seed)
+	optRow, err := optimalRow(dist, *trials, *seed)
 	if err != nil {
 		return err
 	}
@@ -95,7 +95,7 @@ func run() error {
 		{"this work A(12,3)", 2},
 		{"this work A(36,7) fig.2", 3},
 	} {
-		row, err := boostedRow(*trials, *seed, levels.label, levels.depth)
+		row, err := boostedRow(dist, *trials, *seed, levels.label, levels.depth)
 		if err != nil {
 			return err
 		}
@@ -202,7 +202,7 @@ func run() error {
 	return nil
 }
 
-func randomRow(trials int, seed int64, label string, n, f int, biased bool) (measuredRow, error) {
+func randomRow(dist *campaigncli.Options, trials int, seed int64, label string, n, f int, biased bool) (measuredRow, error) {
 	var a synchcount.Algorithm
 	var err error
 	if biased {
@@ -225,6 +225,9 @@ func randomRow(trials int, seed int64, label string, n, f int, biased bool) (mea
 		MaxRounds: 1 << 21,
 		StopEarly: true,
 	}
+	// Randomised rows never fast-forward (the engine gates on
+	// determinism); ApplySim still honours an explicit -fastforward=false.
+	dist.ApplySim(&cfg, label)
 	return measuredRow{
 		scenario:  synchcount.SimScenario(label, cfg, trials),
 		label:     label,
@@ -237,7 +240,7 @@ func randomRow(trials int, seed int64, label string, n, f int, biased bool) (mea
 	}, nil
 }
 
-func optimalRow(trials int, seed int64) (measuredRow, error) {
+func optimalRow(dist *campaigncli.Options, trials int, seed int64) (measuredRow, error) {
 	cnt, err := synchcount.OptimalResilience(1, 2)
 	if err != nil {
 		return measuredRow{}, err
@@ -257,6 +260,7 @@ func optimalRow(trials int, seed int64) (measuredRow, error) {
 		Window:    128,
 		StopEarly: true,
 	}
+	dist.ApplySim(&cfg, "corollary1/n=4/f=1/c=2")
 	return measuredRow{
 		scenario:  synchcount.SimScenario("Corollary 1 (n=4,f=1)", cfg, trials),
 		label:     "Corollary 1 (n=4,f=1)",
@@ -269,7 +273,7 @@ func optimalRow(trials int, seed int64) (measuredRow, error) {
 	}, nil
 }
 
-func boostedRow(trials int, seed int64, label string, levels int) (measuredRow, error) {
+func boostedRow(dist *campaigncli.Options, trials int, seed int64, label string, levels int) (measuredRow, error) {
 	stack := []synchcount.PlanLevel{{K: 4, F: 1}, {K: 3, F: 3}, {K: 3, F: 7}}
 	plan := synchcount.Plan{Levels: stack[:levels], C: 2}
 	cnt, _, stats, err := synchcount.FromPlan(plan)
@@ -298,6 +302,7 @@ func boostedRow(trials int, seed int64, label string, levels int) (measuredRow, 
 		Window:    128,
 		StopEarly: true,
 	}
+	dist.ApplySim(&cfg, label)
 	return measuredRow{
 		scenario:  synchcount.SimScenario(label, cfg, trials),
 		label:     label,

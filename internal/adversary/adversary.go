@@ -103,6 +103,52 @@ type RowMessenger interface {
 	MessageRow(v *View, senders []int, to int, row []alg.State)
 }
 
+// Snapshottable is the stateless-adversary marker the simulator's
+// periodicity-aware fast-forward engine gates on. Implementing it
+// asserts that the strategy keeps no hidden mutable state of its own —
+// every message choice is a pure function of the View it is handed.
+// All seven built-in strategies qualify; the greedy lookahead caches
+// per-round assignments across calls and therefore opts out by not
+// implementing the interface.
+//
+// SnapshotPeriod additionally classifies how the choices depend on
+// time and randomness:
+//
+//   - p >= 1: the whole per-round message matrix is a pure function of
+//     (round mod p, the *correct* States entries, Faulty, Space) — in
+//     particular independent of View.Rng and of the States entries of
+//     faulty nodes (which the View contract leaves unspecified
+//     anyway). Configurations then evolve as a pure function of
+//     (configuration, round mod p) and the engine can detect cycles,
+//     fast-forward, and merge trajectories across trials. Every
+//     round-oblivious strategy returns 1.
+//   - 0: the strategy is still stateless, but its choices draw on the
+//     adversary randomness stream or the absolute round number
+//     (Random derives a per-(round, sender) RNG; Equivocate consumes
+//     the shared stream), so the effective configuration includes an
+//     RNG cursor that never revisits itself within any realistic
+//     horizon. Fast-forward stands down and the run proceeds on the
+//     plain kernel, bit for bit as before.
+type Snapshottable interface {
+	Adversary
+	// SnapshotPeriod returns the round period p of the strategy's
+	// message function, or 0 when the strategy is randomness- or
+	// absolute-round-dependent (fast-forward ineligible).
+	SnapshotPeriod() uint64
+}
+
+// SnapshotPeriodOf reports the snapshot period of a strategy and
+// whether the fast-forward engine may cycle-detect under it: the
+// strategy must implement Snapshottable and declare a period >= 1.
+func SnapshotPeriodOf(a Adversary) (uint64, bool) {
+	s, ok := a.(Snapshottable)
+	if !ok {
+		return 0, false
+	}
+	p := s.SnapshotPeriod()
+	return p, p >= 1
+}
+
 // Silent models crash-like behaviour: the faulty node appears frozen in
 // state 0 forever. This is the weakest attack and a useful baseline.
 type Silent struct{}
@@ -112,6 +158,10 @@ func (Silent) Name() string { return "silent" }
 
 // Message implements Adversary.
 func (Silent) Message(*View, int, int) alg.State { return 0 }
+
+// SnapshotPeriod implements Snapshottable: the frozen state is a
+// constant — round- and randomness-oblivious.
+func (Silent) SnapshotPeriod() uint64 { return 1 }
 
 // Random broadcasts a fresh uniform state each round, the same to all
 // receivers (a non-equivocating but noisy fault).
@@ -127,6 +177,12 @@ func (Random) Message(v *View, from, _ int) alg.State {
 	return uniform(v.perSenderRng(from), v.Space)
 }
 
+// SnapshotPeriod implements Snapshottable. Random is stateless but its
+// per-round value is derived from the absolute round number, so the
+// trajectory has no finite configuration period: fast-forward stands
+// down (period 0).
+func (Random) SnapshotPeriod() uint64 { return 0 }
+
 // Equivocate sends an independent uniform state to every receiver every
 // round — maximal noise equivocation.
 type Equivocate struct{}
@@ -138,6 +194,12 @@ func (Equivocate) Name() string { return "equivocate" }
 func (Equivocate) Message(v *View, _, _ int) alg.State {
 	return uniform(v.Rng, v.Space)
 }
+
+// SnapshotPeriod implements Snapshottable. Equivocate is stateless but
+// consumes the shared adversary randomness stream, whose cursor never
+// revisits itself within a realistic horizon: fast-forward stands down
+// (period 0).
+func (Equivocate) SnapshotPeriod() uint64 { return 0 }
 
 // Mirror impersonates a correct node: every faulty node copies the state
 // of the lowest-indexed correct node, making the fault invisible to
@@ -156,6 +218,10 @@ func (Mirror) Message(v *View, _, _ int) alg.State {
 	}
 	return 0
 }
+
+// SnapshotPeriod implements Snapshottable: Mirror copies a correct
+// state — a pure function of (States, Faulty).
+func (Mirror) SnapshotPeriod() uint64 { return 1 }
 
 // SplitVote tries to keep correct nodes disagreeing: it finds two distinct
 // states held by correct nodes and shows the first to even-numbered
@@ -197,6 +263,10 @@ func (SplitVote) Message(v *View, _, to int) alg.State {
 	return b
 }
 
+// SnapshotPeriod implements Snapshottable: the split depends only on
+// the correct states and the receiver index.
+func (SplitVote) SnapshotPeriod() uint64 { return 1 }
+
 // Spread shows each receiver a different correct node's state, maximising
 // disagreement about what the faulty node "is": receiver t sees the state
 // of the t-th correct node (mod the number of correct nodes).
@@ -214,6 +284,10 @@ func (Spread) Message(v *View, _, to int) alg.State {
 	return correct[to%len(correct)]
 }
 
+// SnapshotPeriod implements Snapshottable: the spread is a pure
+// function of (States, Faulty) and the receiver index.
+func (Spread) SnapshotPeriod() uint64 { return 1 }
+
 // Flip delays convergence of binary counters: it reports the complement
 // of the majority state of the correct nodes, pushing tallies away from
 // unanimity thresholds. For larger state spaces it perturbs the majority
@@ -228,6 +302,10 @@ func (Flip) Message(v *View, _, _ int) alg.State {
 	maj := alg.Majority(v.correctStates())
 	return (maj + 1) % v.Space
 }
+
+// SnapshotPeriod implements Snapshottable: the flipped majority is a
+// pure function of (States, Faulty).
+func (Flip) SnapshotPeriod() uint64 { return 1 }
 
 // perSenderRng derives a reproducible per-(round, sender) RNG from the
 // adversary's stream so that "broadcast" strategies send one consistent

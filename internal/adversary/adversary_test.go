@@ -141,3 +141,65 @@ func TestCorrectStates(t *testing.T) {
 		t.Errorf("CorrectStates = %v, want [2 4]", got)
 	}
 }
+
+// TestSnapshottableMarkers pins the fast-forward eligibility contract:
+// every built-in strategy implements Snapshottable, the pure
+// state-function strategies declare period 1, the randomness- or
+// round-driven ones declare 0 (stateless but never periodic), and the
+// stateful greedy lookahead opts out entirely.
+func TestSnapshottableMarkers(t *testing.T) {
+	wantPeriod := map[string]uint64{
+		"silent":     1,
+		"mirror":     1,
+		"splitvote":  1,
+		"spread":     1,
+		"flip":       1,
+		"random":     0,
+		"equivocate": 0,
+	}
+	for name, a := range Registry() {
+		s, ok := a.(Snapshottable)
+		if !ok {
+			t.Errorf("built-in %q does not implement Snapshottable", name)
+			continue
+		}
+		want, listed := wantPeriod[name]
+		if !listed {
+			t.Errorf("strategy %q missing from the expected-period table", name)
+			continue
+		}
+		if got := s.SnapshotPeriod(); got != want {
+			t.Errorf("%q: SnapshotPeriod = %d, want %d", name, got, want)
+		}
+		p, eligible := SnapshotPeriodOf(a)
+		if eligible != (want >= 1) || (eligible && p != want) {
+			t.Errorf("%q: SnapshotPeriodOf = (%d, %v), want (%d, %v)", name, p, eligible, want, want >= 1)
+		}
+	}
+	// The greedy lookahead caches one round's assignment across calls:
+	// it must not advertise itself as snapshottable.
+	g, err := NewGreedy(stubDetAlg{}, Silent{}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := Adversary(g).(Snapshottable); ok {
+		t.Error("greedy must not implement Snapshottable")
+	}
+	if _, eligible := SnapshotPeriodOf(g); eligible {
+		t.Error("SnapshotPeriodOf(greedy) must report ineligible")
+	}
+}
+
+// stubDetAlg is a minimal deterministic algorithm for constructing the
+// greedy lookahead in marker tests.
+type stubDetAlg struct{}
+
+func (stubDetAlg) N() int             { return 2 }
+func (stubDetAlg) F() int             { return 0 }
+func (stubDetAlg) C() int             { return 2 }
+func (stubDetAlg) StateSpace() uint64 { return 2 }
+func (stubDetAlg) Step(_ int, recv []alg.State, _ *rand.Rand) alg.State {
+	return (recv[0] + 1) % 2
+}
+func (stubDetAlg) Output(_ int, s alg.State) int { return int(s) }
+func (stubDetAlg) Deterministic() bool           { return true }

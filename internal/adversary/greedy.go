@@ -18,7 +18,9 @@ import (
 // It upper-bounds what a myopic omniscient attacker can do and is used
 // in the bound-tightness ablations (E5). It is NOT safe for concurrent
 // use: it caches one round's assignment at a time, matching the
-// single-threaded simulators in this repository.
+// single-threaded simulators in this repository. For the same reason —
+// hidden mutable state plus draws from View.Rng — it deliberately does
+// NOT implement Snapshottable: greedy runs never fast-forward.
 //
 // The lookahead itself runs on the vectorized machinery: candidate
 // assignments live in flat to-major matrices that double as the patch

@@ -46,6 +46,14 @@ var _ adversary.Adversary = Saboteur{}
 // Name implements adversary.Adversary.
 func (s Saboteur) Name() string { return "saboteur" }
 
+// SnapshotPeriod implements adversary.Snapshottable: the forge chain
+// is a pure function of the start-of-round states and the fault mask —
+// it never consults the adversary randomness stream or the absolute
+// round number (the recycled forgeScratch is call-scoped working
+// storage, not state) — so the fast-forward engine may cycle-detect
+// under the saboteur.
+func (s Saboteur) SnapshotPeriod() uint64 { return 1 }
+
 // Message implements adversary.Adversary.
 func (s Saboteur) Message(v *adversary.View, from, to int) alg.State {
 	sc := forgePool.Get().(*forgeScratch)
@@ -145,7 +153,11 @@ func forgeLevel(b *Counter, states []alg.State, v *adversary.View, offset, fromL
 	}
 	st, err := b.Encode(baseSt, regs)
 	if err != nil {
-		return states[to%len(states)]
+		// Unreachable for well-formed counters (the forged components
+		// are reduced into range above); fall back to a constant rather
+		// than echoing an arbitrary — possibly faulty — node's state,
+		// preserving the Snapshottable no-faulty-reads contract.
+		return 0
 	}
 	return st
 }

@@ -21,19 +21,25 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"sync"
 
 	"github.com/synchcount/synchcount/internal/harness"
+	"github.com/synchcount/synchcount/internal/sim"
 )
 
 // Options holds the parsed distribution flags.
 type Options struct {
-	shard  string
-	ndjson string
-	merge  string
+	shard       string
+	ndjson      string
+	merge       string
+	fastforward bool
+
+	memoOnce sync.Once
+	memo     *harness.TrajectoryMemo
 }
 
-// Register installs -shard, -ndjson and -merge on fs (typically
-// flag.CommandLine, before flag.Parse).
+// Register installs -shard, -ndjson, -merge and -fastforward on fs
+// (typically flag.CommandLine, before flag.Parse).
 func Register(fs *flag.FlagSet) *Options {
 	o := &Options{}
 	fs.StringVar(&o.shard, "shard", "",
@@ -42,7 +48,30 @@ func Register(fs *flag.FlagSet) *Options {
 		"stream per-trial records as NDJSON to this file ('-' = stdout)")
 	fs.StringVar(&o.merge, "merge", "",
 		"skip running: merge these comma-separated shard result JSON files and report/export the reassembled campaign")
+	fs.BoolVar(&o.fastforward, "fastforward", true,
+		"fast-forward eligible broadcast-model runs by configuration-cycle detection (deterministic algorithms under snapshottable adversaries; results are bit-identical either way)")
 	return o
+}
+
+// FastForward reports the -fastforward toggle (default on). Pulling-
+// model commands accept but ignore it: the engine rides the broadcast
+// simulator only.
+func (o *Options) FastForward() bool { return o.fastforward }
+
+// ApplySim wires the -fastforward toggle and the invocation's shared
+// trajectory memo cache into one broadcast-model simulation config —
+// the one call every campaign command makes per config it builds.
+// algID identifies the algorithm build in memo keys; configs of
+// different builds must pass distinct ids. Safe for concurrent use by
+// per-trial config factories.
+func (o *Options) ApplySim(cfg *sim.Config, algID string) {
+	if !o.fastforward {
+		cfg.NoFastForward = true
+		return
+	}
+	o.memoOnce.Do(func() { o.memo = harness.NewTrajectoryMemo(0) })
+	cfg.Memo = o.memo
+	cfg.MemoAlg = algID
 }
 
 // MergeMode reports whether -merge was given, in which case the

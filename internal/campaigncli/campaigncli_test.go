@@ -2,11 +2,13 @@ package campaigncli
 
 import (
 	"context"
+	"flag"
 	"os"
 	"path/filepath"
 	"testing"
 
 	"github.com/synchcount/synchcount/internal/harness"
+	"github.com/synchcount/synchcount/internal/sim"
 )
 
 func testCampaign() harness.Campaign {
@@ -176,5 +178,42 @@ func TestMergeModeRoundTrip(t *testing.T) {
 	y, _ := os.ReadFile(b)
 	if string(x) != string(y) {
 		t.Fatal("merge-mode result differs from the unsharded run")
+	}
+}
+
+// TestFastForwardFlag pins the -fastforward wiring: the flag defaults
+// on, ApplySim attaches one shared memo per invocation when on, and
+// forces NoFastForward when off.
+func TestFastForwardFlag(t *testing.T) {
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	o := Register(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if !o.FastForward() {
+		t.Fatal("-fastforward must default on")
+	}
+	var a, b sim.Config
+	o.ApplySim(&a, "alg-a")
+	o.ApplySim(&b, "alg-b")
+	if a.NoFastForward || b.NoFastForward {
+		t.Fatal("ApplySim with the flag on must leave fast-forward enabled")
+	}
+	if a.Memo == nil || a.Memo != b.Memo {
+		t.Fatal("ApplySim must attach one shared memo per invocation")
+	}
+	if a.MemoAlg != "alg-a" || b.MemoAlg != "alg-b" {
+		t.Fatalf("ApplySim memo ids = %q/%q, want alg-a/alg-b", a.MemoAlg, b.MemoAlg)
+	}
+
+	fs = flag.NewFlagSet("t", flag.ContinueOnError)
+	o = Register(fs)
+	if err := fs.Parse([]string{"-fastforward=false"}); err != nil {
+		t.Fatal(err)
+	}
+	var c sim.Config
+	o.ApplySim(&c, "alg-c")
+	if !c.NoFastForward || c.Memo != nil {
+		t.Fatalf("ApplySim with the flag off must disable fast-forward and attach no memo, got %+v", c)
 	}
 }

@@ -1,0 +1,111 @@
+package harness
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// TrajectoryKey identifies one memoised trajectory fact within a
+// campaign: the algorithm build, the exact faulty set, the adversary
+// strategy, the adversary's round phase (round mod its snapshot
+// period) and the configuration hash. Deterministic dynamics make the
+// future of a configuration a pure function of exactly these
+// coordinates, so a fact recorded by one trial is valid for every
+// other trial of the campaign that reaches the same key — the value
+// attached never depends on which trial stored it.
+//
+// The hash component is only a candidate filter: the simulator
+// verifies every hit against the full configuration before trusting
+// it, so hash collisions cost a lookup and a compare, never
+// correctness.
+type TrajectoryKey struct {
+	// Alg identifies the algorithm build (name plus parameters).
+	Alg string
+	// Faulty is the canonical (ascending, comma-joined) faulty set.
+	Faulty string
+	// Adversary is the strategy name.
+	Adversary string
+	// Phase is the round number modulo the adversary's snapshot
+	// period (0 for the round-oblivious strategies).
+	Phase uint64
+	// Hash is the configuration hash.
+	Hash uint64
+}
+
+// DefaultTrajectoryMemoCapacity bounds a memo built with capacity 0.
+const DefaultTrajectoryMemoCapacity = 4096
+
+// TrajectoryMemo is the bounded, concurrency-safe memo table the
+// trials of one campaign share: trials whose trajectories merge — the
+// common case in strided fault-placement compare grids and in the
+// conformance suite's Run-then-RunFull replays — skip straight to the
+// memoised cycle instead of re-detecting it. The table is append-only
+// and first-write-wins: entries are facts about the deterministic
+// dynamics, so late or racing writers can only restate them. When the
+// capacity is reached further inserts are rejected (bounded memory,
+// and the retained entries stay valid); lookups are unaffected.
+type TrajectoryMemo struct {
+	mu       sync.RWMutex
+	capacity int
+	m        map[TrajectoryKey]any
+
+	hits     atomic.Uint64
+	misses   atomic.Uint64
+	rejected atomic.Uint64
+}
+
+// NewTrajectoryMemo returns a memo bounded to capacity entries;
+// capacity <= 0 selects DefaultTrajectoryMemoCapacity.
+func NewTrajectoryMemo(capacity int) *TrajectoryMemo {
+	if capacity <= 0 {
+		capacity = DefaultTrajectoryMemoCapacity
+	}
+	return &TrajectoryMemo{capacity: capacity, m: make(map[TrajectoryKey]any)}
+}
+
+// Get returns the fact stored under k, if any.
+func (m *TrajectoryMemo) Get(k TrajectoryKey) (any, bool) {
+	m.mu.RLock()
+	v, ok := m.m[k]
+	m.mu.RUnlock()
+	if ok {
+		m.hits.Add(1)
+	} else {
+		m.misses.Add(1)
+	}
+	return v, ok
+}
+
+// Add stores v under k unless the memo is full. A key that is already
+// present is left untouched (first write wins) and reported as stored:
+// concurrent discoverers of the same fact need not distinguish who won.
+// The return value reports whether the fact is now in the memo.
+func (m *TrajectoryMemo) Add(k TrajectoryKey, v any) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.m[k]; ok {
+		return true
+	}
+	if len(m.m) >= m.capacity {
+		m.rejected.Add(1)
+		return false
+	}
+	m.m[k] = v
+	return true
+}
+
+// Len returns the number of stored entries.
+func (m *TrajectoryMemo) Len() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return len(m.m)
+}
+
+// Cap returns the entry bound.
+func (m *TrajectoryMemo) Cap() int { return m.capacity }
+
+// Stats reports lookup hits, lookup misses and capacity-rejected
+// inserts since construction.
+func (m *TrajectoryMemo) Stats() (hits, misses, rejected uint64) {
+	return m.hits.Load(), m.misses.Load(), m.rejected.Load()
+}

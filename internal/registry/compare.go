@@ -48,6 +48,15 @@ type CompareSpec struct {
 	Seed int64
 	// Workers bounds concurrent trials (0 = GOMAXPROCS).
 	Workers int
+	// NoFastForward disables the simulator's periodicity-aware
+	// fast-forward engine for the campaign's runs. By default eligible
+	// runs (deterministic stacks under snapshottable adversaries)
+	// cycle-detect and share confirmed cycles through a per-campaign
+	// trajectory memo — the rotating strided fault placements revisit
+	// each fault set every N trials, so merged trajectories skip
+	// straight to the memoised conclusion. Results are bit-identical
+	// either way; the toggle exists for measurement and as a canary.
+	NoFastForward bool
 }
 
 // CompareCell is the static, per-build metadata of one compare
@@ -123,6 +132,14 @@ func (cs CompareSpec) Campaign() (harness.Campaign, []CompareCell, error) {
 		Seed:    seed,
 		Workers: cs.Workers,
 	}
+	// One trajectory memo per resolved campaign: every scenario's
+	// trials share it, keyed by (algorithm build, faulty set,
+	// adversary, configuration), so cycle discoveries propagate across
+	// the whole compare grid.
+	var memo *harness.TrajectoryMemo
+	if !cs.NoFastForward {
+		memo = harness.NewTrajectoryMemo(0)
+	}
 	var cells []CompareCell
 	for _, name := range cs.Algs {
 		spec, err := ByName(name)
@@ -160,7 +177,7 @@ func (cs CompareSpec) Campaign() (harness.Campaign, []CompareCell, error) {
 			}
 			cells = append(cells, cell)
 			for ai, adv := range advs {
-				scen := cs.scenario(cell.ScenarioName(advNames[ai]), a, adv, cell)
+				scen := cs.scenario(cell.ScenarioName(advNames[ai]), a, adv, cell, memo)
 				scen.Seed = &seed
 				campaign.Scenarios = append(campaign.Scenarios, scen)
 			}
@@ -176,21 +193,31 @@ func (cs CompareSpec) Campaign() (harness.Campaign, []CompareCell, error) {
 // the trial index, so a campaign covers many fault geometries while
 // every trial stays a pure function of its grid position (the
 // property sharding depends on).
-func (cs CompareSpec) scenario(name string, a alg.Algorithm, adv adversary.Adversary, cell CompareCell) harness.Scenario {
+func (cs CompareSpec) scenario(name string, a alg.Algorithm, adv adversary.Adversary, cell CompareCell, memo *harness.TrajectoryMemo) harness.Scenario {
 	n := a.N()
+	// The memo key identifies the algorithm build; the faulty set and
+	// adversary are keyed separately by the engine, so all trials of
+	// one build share discoveries wherever their grids coincide.
+	algID := fmt.Sprintf("%s/n=%d/f=%d/c=%d", cell.Alg, cell.N, cell.F, cell.C)
 	return sim.CampaignScenarioFunc(name, cs.Trials, func(trial int) (sim.Config, error) {
 		faulty := make([]int, 0, cell.Faults)
 		for j := 0; j < cell.Faults; j++ {
 			faulty = append(faulty, (trial+j*n/cell.Faults)%n)
 		}
-		return sim.Config{
-			Alg:       a,
-			Faulty:    faulty,
-			Adv:       adv,
-			MaxRounds: cell.MaxRounds,
-			Window:    cs.Window,
-			StopEarly: true,
-		}, nil
+		cfg := sim.Config{
+			Alg:           a,
+			Faulty:        faulty,
+			Adv:           adv,
+			MaxRounds:     cell.MaxRounds,
+			Window:        cs.Window,
+			StopEarly:     true,
+			NoFastForward: cs.NoFastForward,
+		}
+		if memo != nil {
+			cfg.Memo = memo
+			cfg.MemoAlg = algID
+		}
+		return cfg, nil
 	}, nil)
 }
 

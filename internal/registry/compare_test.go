@@ -215,3 +215,58 @@ func TestTableRejectsForeignResults(t *testing.T) {
 		t.Fatal("Table accepted a foreign scenario name")
 	}
 }
+
+// TestCompareFastForwardDifferential locks the fast-forward engine
+// down at the compare-campaign level: the same spec run with the
+// engine on (cycle detection plus the shared trajectory memo) and off
+// must serialise byte-identically — JSON, NDJSON and the comparison
+// table. This is the cross-trial companion of the per-run differential
+// suite in internal/sim.
+func TestCompareFastForwardDifferential(t *testing.T) {
+	build := func(noFF bool) ([]byte, []byte, []byte) {
+		spec := CompareSpec{
+			Algs:          []string{"ecount", "theorem2"},
+			Fs:            []int{1},
+			C:             6,
+			Adversaries:   []string{"silent", "splitvote"},
+			Trials:        8,
+			Seed:          9,
+			Workers:       4,
+			NoFastForward: noFF,
+		}
+		campaign, cells, err := spec.Campaign()
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := campaign.Run(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var js, nd, table bytes.Buffer
+		if err := res.WriteJSON(&js); err != nil {
+			t.Fatal(err)
+		}
+		if err := res.WriteNDJSON(&nd); err != nil {
+			t.Fatal(err)
+		}
+		rows, err := Table(cells, spec.Adversaries, res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := WriteTableCSV(&table, rows); err != nil {
+			t.Fatal(err)
+		}
+		return js.Bytes(), nd.Bytes(), table.Bytes()
+	}
+	fastJS, fastND, fastTable := build(false)
+	slowJS, slowND, slowTable := build(true)
+	if !bytes.Equal(fastJS, slowJS) {
+		t.Error("fast-forwarded compare JSON differs from the slow path")
+	}
+	if !bytes.Equal(fastND, slowND) {
+		t.Error("fast-forwarded compare NDJSON differs from the slow path")
+	}
+	if !bytes.Equal(fastTable, slowTable) {
+		t.Error("fast-forwarded compare table differs from the slow path")
+	}
+}

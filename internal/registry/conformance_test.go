@@ -1,10 +1,12 @@
 package registry
 
 import (
+	"fmt"
 	"testing"
 
 	"github.com/synchcount/synchcount/internal/adversary"
 	"github.com/synchcount/synchcount/internal/alg"
+	"github.com/synchcount/synchcount/internal/harness"
 	"github.com/synchcount/synchcount/internal/sim"
 )
 
@@ -71,6 +73,16 @@ func TestConformance(t *testing.T) {
 					bound, hasBound = b.StabilisationBound(), true
 				}
 				maxRounds := spec.MaxRounds(a)
+				// One trajectory memo per cell: the count-mod-c-forever
+				// full replays ride the fast-forward path and share
+				// detected cycles across placements and seeds (silent
+				// and splitvote are snapshottable; equivocate keeps
+				// exercising the plain kernel). One explicit slow-path
+				// replay below stays as the canary holding the fast
+				// path to the simulated truth.
+				memo := harness.NewTrajectoryMemo(0)
+				memoAlg := fmt.Sprintf("%s/%v", spec.Name, cell)
+				canaried := false
 				for _, advName := range conformanceAdversaries {
 					adv, err := adversary.ByName(advName)
 					if err != nil {
@@ -84,6 +96,8 @@ func TestConformance(t *testing.T) {
 								Adv:       adv,
 								Seed:      seed,
 								MaxRounds: maxRounds,
+								Memo:      memo,
+								MemoAlg:   memoAlg,
 							})
 							if err != nil {
 								t.Fatal(err)
@@ -99,15 +113,20 @@ func TestConformance(t *testing.T) {
 							// Counting must persist: replay the same
 							// execution (same seed, deterministic
 							// simulator) past the confirmation window
-							// and demand zero violations.
+							// and demand zero violations. The replay
+							// rides the fast-forward path with the
+							// cell's shared memo.
 							window := sim.DefaultWindowFor(a.C())
-							full, err := sim.RunFull(sim.Config{
+							fullCfg := sim.Config{
 								Alg:       a,
 								Faulty:    faulty,
 								Adv:       adv,
 								Seed:      seed,
 								MaxRounds: res.StabilisationTime + window + 512,
-							})
+								Memo:      memo,
+								MemoAlg:   memoAlg,
+							}
+							full, err := sim.RunFull(fullCfg)
 							if err != nil {
 								t.Fatal(err)
 							}
@@ -118,6 +137,25 @@ func TestConformance(t *testing.T) {
 							if full.Violations != 0 {
 								t.Fatalf("cell %v adv=%s faulty=%v seed=%d: %d violations after stabilisation — counter does not count forever",
 									cell, advName, faulty, seed, full.Violations)
+							}
+							// Slow-path canary: the first replay of each
+							// cell also runs with fast-forward disabled
+							// and must agree bit for bit, so a fast-path
+							// regression cannot hide behind the suite
+							// having moved onto it wholesale.
+							if !canaried {
+								canaried = true
+								slowCfg := fullCfg
+								slowCfg.NoFastForward = true
+								slowCfg.Memo = nil
+								slow, err := sim.RunFull(slowCfg)
+								if err != nil {
+									t.Fatal(err)
+								}
+								if slow != full {
+									t.Fatalf("cell %v adv=%s faulty=%v seed=%d: fast-forwarded replay %+v != slow-path canary %+v",
+										cell, advName, faulty, seed, full, slow)
+								}
 							}
 						}
 					}

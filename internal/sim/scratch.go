@@ -38,6 +38,11 @@ type runScratch struct {
 	patchFlat []alg.State
 	patchRows [][]alg.State
 	patches   alg.Patches
+
+	// Fast-forward engine state (see fastforward.go): the Brent
+	// checkpoint, configuration scratch and observation ring recycle
+	// with the rest of the working set. arm/disarm reset it per run.
+	ff ffEngine
 }
 
 var scratchPool sync.Pool

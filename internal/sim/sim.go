@@ -76,6 +76,28 @@ type Config struct {
 	// ErrAborted as soon as it returns true. The campaign engine uses it
 	// to propagate context cancellation into long runs.
 	Abort func() bool
+
+	// NoFastForward disables the periodicity-aware fast-forward engine
+	// (see internal/sim/fastforward.go). By default eligible runs —
+	// deterministic algorithm, snapshottable adversary with a finite
+	// period, no OnRound observer — detect their configuration cycle
+	// and conclude the stabilisation window and verification tail
+	// analytically, producing a Result bit-identical to simulating
+	// every round. Ineligible runs are unaffected either way.
+	NoFastForward bool
+
+	// Memo, when non-nil together with MemoAlg, shares confirmed
+	// trajectory cycles across the trials of a campaign: a trial whose
+	// configuration reaches a cycle another trial already published
+	// (same algorithm build, faulty set and adversary) skips straight
+	// to the analytic conclusion. Purely an accelerator — results are
+	// bit-identical with or without it.
+	Memo *harness.TrajectoryMemo
+
+	// MemoAlg identifies the algorithm build in Memo keys (name plus
+	// parameters). Configs of different builds sharing one Memo must
+	// pass distinct identifiers; an empty MemoAlg disables the memo.
+	MemoAlg string
 }
 
 // ErrAborted is returned by Run/RunFull when Config.Abort requested an
@@ -232,9 +254,16 @@ func runMode(cfg Config, vectorized bool) (Result, error) {
 	view.SetBaseSeed(advBase)
 
 	var batch alg.BatchStepper
+	var ff *ffEngine
 	if vectorized {
 		batch, _ = a.(alg.BatchStepper)
 		sc.preparePatches(n)
+		// The fast-forward engine only rides the vectorized kernel; the
+		// scalar reference loop stays the plain semantic baseline the
+		// differential suites compare both against.
+		if ff = sc.ff.arm(&cfg, adv, faulty); ff != nil {
+			defer sc.ff.disarm()
+		}
 	}
 
 	det := NewDetector(c, window)
@@ -242,6 +271,14 @@ func runMode(cfg Config, vectorized bool) (Result, error) {
 	for round := uint64(0); round < cfg.MaxRounds; round++ {
 		if cfg.Abort != nil && cfg.Abort() {
 			return Result{}, ErrAborted
+		}
+		if ff != nil {
+			if ring, ok := ff.probe(round, states); ok {
+				// The execution from this round on provably replays the
+				// recorded cycle: conclude detector semantics to
+				// MaxRounds analytically, bit-identical to simulating.
+				return finishFastForward(det, ring, round, &cfg, c, res), nil
+			}
 		}
 		// Observe outputs of the start-of-round configuration.
 		agree := true
@@ -268,6 +305,9 @@ func runMode(cfg Config, vectorized bool) (Result, error) {
 			if cfg.StopEarly {
 				return res, nil
 			}
+		}
+		if ff != nil {
+			ff.record(agree, common)
 		}
 
 		// Deliver messages and step every correct node.

@@ -203,6 +203,47 @@ func CampaignNDJSONSink(w io.Writer) CampaignSink { return harness.NDJSONSink(w)
 // interchange form.
 func ParseShardSpec(data []byte) (ShardSpec, error) { return harness.ParseShardSpec(data) }
 
+// Fast-forward engine (see internal/sim/fastforward.go): deterministic
+// algorithms under snapshottable adversaries evolve the global
+// configuration as a pure function, so the simulator detects the
+// trajectory's cycle (hash-candidate, verified by full configuration
+// comparison) and concludes the stabilisation window and verification
+// tail analytically — bit-identical Results at a fraction of the
+// rounds. Enabled by default for eligible SimConfigs; opt out with
+// SimConfig.NoFastForward.
+type (
+	// SnapshottableAdversary marks stateless adversaries and declares
+	// their round period; period >= 1 makes a deterministic run
+	// eligible for fast-forwarding. All built-in strategies implement
+	// it (random and equivocate declare period 0: stateless but
+	// rng-driven); the greedy lookahead opts out.
+	SnapshottableAdversary = adversary.Snapshottable
+	// ConfigCapturer lets algorithms with hidden per-node state expose
+	// it to configuration hashing; the built-in constructions need
+	// nothing (their state vectors are explicit).
+	ConfigCapturer = alg.ConfigCapturer
+	// TrajectoryMemo is the bounded, concurrency-safe per-campaign
+	// cache of confirmed trajectory cycles: trials whose trajectories
+	// merge skip straight to the memoised conclusion.
+	TrajectoryMemo = harness.TrajectoryMemo
+	// TrajectoryKey keys one memoised trajectory fact.
+	TrajectoryKey = harness.TrajectoryKey
+)
+
+// NewTrajectoryMemo returns a trajectory memo bounded to capacity
+// entries (capacity <= 0 selects the default bound). Attach it to the
+// SimConfigs of a campaign via SimConfig.Memo/MemoAlg to share cycle
+// discoveries across trials.
+func NewTrajectoryMemo(capacity int) *TrajectoryMemo { return harness.NewTrajectoryMemo(capacity) }
+
+// AdversarySnapshotPeriod reports an adversary's snapshot period and
+// whether fast-forwarding may cycle-detect under it.
+func AdversarySnapshotPeriod(a Adversary) (uint64, bool) { return adversary.SnapshotPeriodOf(a) }
+
+// HashConfiguration hashes a configuration word vector with the
+// fast-forward engine's incremental configuration hash.
+func HashConfiguration(words []State) uint64 { return alg.HashConfig(words) }
+
 // SimScenario adapts a broadcast-model SimConfig to a campaign scenario
 // of `trials` trials. The config is shared across concurrent trials and
 // must therefore only reference read-only components (the greedy
