@@ -4,21 +4,27 @@
 GO ?= go
 
 # PR number stamped into the benchmark-trajectory artifact BENCH_$(PR).json.
-PR ?= 5
+PR ?= 6
 
 # Benchmark selector for the trajectory artifacts and the CI gates:
-# the kernel Reference/Vectorized pairs plus the fast-forward Off/On
-# pairs.
-BENCH_PATTERN = ^Benchmark(Kernel|FF)_
+# the kernel Reference/Vectorized pairs, the fast-forward Off/On pairs,
+# and the pulling-model Reference/Sparse pairs.
+BENCH_PATTERN = ^Benchmark(Kernel|FF|Pull)_
+BENCH_PKGS = ./internal/sim ./internal/pull
 
 # Previous trajectory artifact `make bench-diff` compares against, and
 # its optional gate (0 = report only; cross-run ns/op diffs are noisy
 # across machines, so the enforced gates live in bench-smoke's
 # same-machine ratios instead).
-BASELINE ?= BENCH_4.json
+BASELINE ?= BENCH_5.json
 MIN_SPEEDUP ?= 0
 
-.PHONY: build test race bench bench-json bench-smoke bench-diff fuzz-smoke shard-smoke compare-smoke fmt fmt-check vet ci
+# staticcheck release the lint job pins; `make lint` soft-skips when the
+# binary is absent locally (the repo never installs tools on your
+# behalf) while CI always installs this exact version.
+STATICCHECK_VERSION ?= 2024.1.1
+
+.PHONY: build test race bench bench-json bench-smoke bench-diff fuzz-smoke shard-smoke compare-smoke pull-smoke lint fmt fmt-check vet ci
 
 build:
 	$(GO) build ./...
@@ -32,11 +38,11 @@ race:
 bench:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
 
-# Full kernel + fast-forward benchmark run, recorded as the repo's
-# benchmark trajectory artifact (BENCH_5.json for this PR; override
-# with PR=n).
+# Full kernel + fast-forward + pull benchmark run, recorded as the
+# repo's benchmark trajectory artifact (BENCH_6.json for this PR;
+# override with PR=n).
 bench-json:
-	$(GO) test -run='^$$' -bench='$(BENCH_PATTERN)' -benchmem -benchtime=2s ./internal/sim \
+	$(GO) test -run='^$$' -bench='$(BENCH_PATTERN)' -benchmem -benchtime=2s $(BENCH_PKGS) \
 		| $(GO) run ./cmd/benchjson -pr $(PR) -out BENCH_$(PR).json
 	@echo "wrote BENCH_$(PR).json"
 
@@ -46,20 +52,22 @@ bench-json:
 #  1. pair gates — fails when the vectorized kernel's advantage over
 #     the reference loop drops below 1.5x on any kernel pair (the
 #     committed trajectory shows >= 3x, so this catches > 2x
-#     regressions), or when the fast-forward engine's advantage over
+#     regressions), when the fast-forward engine's advantage over
 #     the plain kernel drops below 5x on any FF pair (the committed
-#     trajectory shows >= 9x on every cell). Ratios are immune to
-#     absolute machine speed but not to scheduler noise; 10 iterations
-#     per side keeps a single descheduled trial from flipping the
-#     gates on shared CI runners.
+#     trajectory shows >= 9x on every cell), or when the sparse pull
+#     kernel's advantage over the per-node reference loop drops below
+#     1.5x on any pull pair (the committed trajectory shows >= 2.3x).
+#     Ratios are immune to absolute machine speed but not to scheduler
+#     noise; 10 iterations per side keeps a single descheduled trial
+#     from flipping the gates on shared CI runners.
 #  2. baseline diff — the same run diffed against the previous
 #     committed trajectory artifact benchmark by benchmark
 #     (informational by default: cross-run ns/op comparisons are
 #     machine-sensitive; set MIN_SPEEDUP to enforce a floor).
 bench-smoke:
 	@tmp=$$(mktemp); trap 'rm -f "$$tmp"' EXIT; \
-	$(GO) test -run='^$$' -bench='$(BENCH_PATTERN)' -benchmem -benchtime=10x ./internal/sim > "$$tmp" && \
-	$(GO) run ./cmd/benchjson -min-speedup 1.5 -min-ff-speedup 5 < "$$tmp" && \
+	$(GO) test -run='^$$' -bench='$(BENCH_PATTERN)' -benchmem -benchtime=10x $(BENCH_PKGS) > "$$tmp" && \
+	$(GO) run ./cmd/benchjson -min-speedup 1.5 -min-ff-speedup 5 -min-pull-speedup 1.5 < "$$tmp" && \
 	$(GO) run ./cmd/benchjson -baseline $(BASELINE) -min-speedup $(MIN_SPEEDUP) < "$$tmp"
 
 # Standalone baseline diff: reruns the benchmarks and compares against
@@ -67,7 +75,7 @@ bench-smoke:
 # same diff off its shared capture). `make bench-diff MIN_SPEEDUP=0.5`
 # refuses a 2x slowdown vs the committed baseline.
 bench-diff:
-	$(GO) test -run='^$$' -bench='$(BENCH_PATTERN)' -benchmem -benchtime=10x ./internal/sim \
+	$(GO) test -run='^$$' -bench='$(BENCH_PATTERN)' -benchmem -benchtime=10x $(BENCH_PKGS) \
 		| $(GO) run ./cmd/benchjson -baseline $(BASELINE) -min-speedup $(MIN_SPEEDUP)
 
 fuzz-smoke:
@@ -78,6 +86,8 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz='^FuzzShardSpec$$' -fuzztime=10s ./internal/harness
 	$(GO) test -run='^$$' -fuzz='^FuzzShardSpecParseArbitrary$$' -fuzztime=10s ./internal/harness
 	$(GO) test -run='^$$' -fuzz='^FuzzMergeResults$$' -fuzztime=10s ./internal/harness
+	$(GO) test -run='^$$' -fuzz='^FuzzSampler$$' -fuzztime=10s ./internal/pull
+	$(GO) test -run='^$$' -fuzz='^FuzzWireTable$$' -fuzztime=10s ./internal/pull
 
 # One campaign as two shards in separate processes, merged, and diffed
 # byte-for-byte against the unsharded run.
@@ -109,6 +119,25 @@ compare-smoke:
 	cmp $$tmp/full.csv $$tmp/merged.csv && \
 	echo "compare-smoke: sharded compare merge is byte-identical to the unsharded run"
 
+# Sparse pull kernel gate: the differential suite pins the batch path
+# bit-identical to the per-node reference loop, then one n=10^5 cell of
+# the scale campaign must stabilise every trial inside a 64 MB/trial
+# allocation budget and a 5-minute wall budget — a dense recv matrix
+# (8n^2 B = 74 GB) cannot pass it.
+pull-smoke:
+	$(GO) test -run='^TestPullKernel' ./internal/pull
+	timeout 300 $(GO) run ./cmd/pullbench -scale -scale-n 100000 -trials 2 -budget-mb 64
+
+# Static analysis at a pinned staticcheck release. Soft-skips when the
+# binary is absent (this repo never installs tools implicitly); CI
+# installs $(STATICCHECK_VERSION) and then runs this same target.
+lint:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck -checks=SA\* ./...; \
+	else \
+		echo "lint: staticcheck not installed; skipping (CI pins $(STATICCHECK_VERSION))"; \
+	fi
+
 fmt:
 	gofmt -w .
 
@@ -120,4 +149,4 @@ fmt-check:
 vet:
 	$(GO) vet ./...
 
-ci: build vet fmt-check race fuzz-smoke bench shard-smoke compare-smoke bench-smoke
+ci: build vet fmt-check lint race fuzz-smoke bench pull-smoke shard-smoke compare-smoke bench-smoke

@@ -14,11 +14,16 @@
 //     (kind "fastforward": the plain kernel against the
 //     periodicity-aware fast-forward engine)
 //
-//     go test -run '^$' -bench '^Benchmark(Kernel|FF)_' -benchmem ./internal/sim |
-//     benchjson -pr 5 -out BENCH_5.json
+//   - BenchmarkPull_Reference_<case> vs BenchmarkPull_Sparse_<case>
+//     (kind "pull": the per-node pulling-model loop against the sparse
+//     batch kernel)
 //
-// With -min-speedup S (kernel pairs) and -min-ff-speedup S
-// (fastforward pairs) it exits non-zero when any paired case speeds up
+//     go test -run '^$' -bench '^Benchmark(Kernel|FF|Pull)_' -benchmem \
+//     ./internal/sim ./internal/pull | benchjson -pr 6 -out BENCH_6.json
+//
+// With -min-speedup S (kernel pairs), -min-ff-speedup S (fastforward
+// pairs) and -min-pull-speedup S (pull pairs) it exits non-zero when
+// any paired case speeds up
 // by less than S× — the `make bench-smoke` CI job runs the benchmarks
 // at a reduced count and uses this to catch regressions without
 // flaking on absolute timings, since both sides of a pair run on the
@@ -92,13 +97,16 @@ type Report struct {
 }
 
 const (
-	refPrefix   = "BenchmarkKernel_Reference_"
-	vecPrefix   = "BenchmarkKernel_Vectorized_"
-	ffOffPrefix = "BenchmarkFF_Off_"
-	ffOnPrefix  = "BenchmarkFF_On_"
+	refPrefix     = "BenchmarkKernel_Reference_"
+	vecPrefix     = "BenchmarkKernel_Vectorized_"
+	ffOffPrefix   = "BenchmarkFF_Off_"
+	ffOnPrefix    = "BenchmarkFF_On_"
+	pullRefPrefix = "BenchmarkPull_Reference_"
+	pullSpPrefix  = "BenchmarkPull_Sparse_"
 
 	kindKernel      = "kernel"
 	kindFastForward = "fastforward"
+	kindPull        = "pull"
 )
 
 func main() {
@@ -106,6 +114,7 @@ func main() {
 	out := flag.String("out", "", "output path for the JSON artifact ('-' for stdout, empty for check-only)")
 	minSpeedup := flag.Float64("min-speedup", 0, "fail unless every kernel Reference/Vectorized pair (and, with -baseline, every baseline diff) speeds up at least this much")
 	minFFSpeedup := flag.Float64("min-ff-speedup", 0, "fail unless every fast-forward Off/On pair speeds up at least this much")
+	minPullSpeedup := flag.Float64("min-pull-speedup", 0, "fail unless every pull Reference/Sparse pair speeds up at least this much")
 	baseline := flag.String("baseline", "", "previous BENCH_<k>.json artifact to diff this run against benchmark by benchmark")
 	flag.Parse()
 
@@ -163,6 +172,7 @@ func main() {
 	}
 	gate(kindKernel, "-min-speedup", *minSpeedup)
 	gate(kindFastForward, "-min-ff-speedup", *minFFSpeedup)
+	gate(kindPull, "-min-pull-speedup", *minPullSpeedup)
 	for _, d := range report.BaselineDiffs {
 		status := ""
 		if *minSpeedup > 0 {
@@ -289,6 +299,7 @@ var pairings = []struct {
 }{
 	{kindKernel, refPrefix, vecPrefix},
 	{kindFastForward, ffOffPrefix, ffOnPrefix},
+	{kindPull, pullRefPrefix, pullSpPrefix},
 }
 
 // pair matches the slow-side row of each pairing with its fast-side

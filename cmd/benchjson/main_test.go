@@ -78,20 +78,22 @@ BenchmarkKernel_Vectorized_ECount_n64_f7-8 27   43831877 ns/op
 BenchmarkFF_Off_ECount_n16_f3_RunFull16k-8 10  217000000 ns/op
 BenchmarkFF_On_ECount_n16_f3_RunFull16k-8  10    8200000 ns/op
 BenchmarkFF_Off_Lonely-8                   10    1000000 ns/op
+BenchmarkPull_Reference_Gossip_n10000_k32-8 1  826244834 ns/op  12910075 ns/round
+BenchmarkPull_Sparse_Gossip_n10000_k32-8    4  255457132 ns/op   3991517 ns/round
 PASS
 `
 
-// TestPairKinds checks that kernel pairs and fast-forward pairs are
+// TestPairKinds checks that kernel, fast-forward and pull pairs are
 // matched under their own kinds and unpaired rows stay out.
 func TestPairKinds(t *testing.T) {
 	report, err := parse(bufio.NewScanner(strings.NewReader(ffSample)))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(report.Comparisons) != 2 {
-		t.Fatalf("paired %d comparisons, want 2: %+v", len(report.Comparisons), report.Comparisons)
+	if len(report.Comparisons) != 3 {
+		t.Fatalf("paired %d comparisons, want 3: %+v", len(report.Comparisons), report.Comparisons)
 	}
-	kernel, ff := report.Comparisons[0], report.Comparisons[1]
+	kernel, ff, pl := report.Comparisons[0], report.Comparisons[1], report.Comparisons[2]
 	if kernel.Kind != "kernel" || kernel.Case != "ECount_n64_f7" {
 		t.Fatalf("kernel pair = %+v", kernel)
 	}
@@ -100,6 +102,15 @@ func TestPairKinds(t *testing.T) {
 	}
 	if ff.Speedup < 26 || ff.Speedup > 27 {
 		t.Fatalf("fastforward speedup = %f, want ~26.5", ff.Speedup)
+	}
+	if pl.Kind != "pull" || pl.Case != "Gossip_n10000_k32" {
+		t.Fatalf("pull pair = %+v", pl)
+	}
+	if pl.Speedup < 3.1 || pl.Speedup > 3.4 {
+		t.Fatalf("pull speedup = %f, want ~3.2", pl.Speedup)
+	}
+	if pl.RefNsPerRound != 12910075 || pl.VecNsPerRound != 3991517 {
+		t.Fatalf("pull ns/round not carried: %+v", pl)
 	}
 }
 

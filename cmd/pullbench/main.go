@@ -8,6 +8,15 @@
 // failure probability of Corollary 4). The whole sweep — every M row
 // and every trial — runs as one parallel campaign on the experiment
 // harness.
+//
+// With -scale it instead runs the large-n campaign of the sparse pull
+// kernel: a fixed-wiring k-sample plurality counter (Gossip) at
+// n ∈ {10^4, 10^5, 10^6} with 1% Byzantine nodes under the
+// equivocating adversary, reporting stabilisation rate, mean
+// stabilisation time, wall-clock ns/round and heap allocation per
+// trial. Trials run serially (MaxConcurrent=1) so both measurements
+// are honest; -budget-mb turns the allocation column into a hard gate,
+// which is how CI pins the kernel to O(n) memory.
 package main
 
 import (
@@ -16,6 +25,10 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
 
 	"github.com/synchcount/synchcount"
 	"github.com/synchcount/synchcount/internal/campaigncli"
@@ -41,6 +54,12 @@ func run() error {
 		workers  = flag.Int("workers", 0, "concurrent trials (0 = GOMAXPROCS)")
 		csvPath  = flag.String("csv", "", "write per-trial results as CSV to this file")
 		jsonPath = flag.String("json", "", "write the campaign result as JSON to this file")
+
+		scale    = flag.Bool("scale", false, "run the large-n sparse-kernel campaign instead of the M sweep")
+		scaleN   = flag.String("scale-n", "10000,100000,1000000", "comma-separated network sizes for -scale")
+		scaleK   = flag.Int("scale-k", 32, "samples per round per node for -scale")
+		scaleC   = flag.Int("scale-c", 8, "counter modulus for -scale")
+		budgetMB = flag.Float64("budget-mb", 0, "with -scale: fail if any cell allocates more than this many MB per trial (0 = report only)")
 	)
 	// -fastforward is registered for flag parity with the broadcast
 	// campaign commands but has no effect here: the fast-forward
@@ -49,6 +68,16 @@ func run() error {
 	dist := campaigncli.Register(flag.CommandLine)
 	flag.Parse()
 	out = dist.HumanOut()
+
+	if *scale {
+		if dist.Sharded() || dist.MergeMode() || dist.NDJSONRequested() {
+			return fmt.Errorf("-scale runs each cell as its own timed campaign; -shard/-merge/-ndjson apply to the M sweep only")
+		}
+		if *jsonPath != "" || *csvPath != "" {
+			return fmt.Errorf("-scale has no -json/-csv export: its wall-clock and allocation columns are environment measurements, not campaign results")
+		}
+		return runScale(*scaleN, *scaleK, *scaleC, *trials, *seed, *horiz, *budgetMB)
+	}
 
 	if dist.MergeMode() {
 		return dist.MergeAndReport(*jsonPath, *csvPath)
@@ -162,4 +191,115 @@ func run() error {
 
 	fmt.Fprintln(out)
 	return dist.WriteExports(result, *jsonPath, *csvPath)
+}
+
+// runScale runs one single-scenario campaign per network size and
+// reports, for each cell, the harness statistics (pure functions of
+// definition and seed) alongside two environment measurements taken
+// outside the campaign: wall-clock ns per simulated round and heap
+// bytes allocated per trial. Trials are serialised (MaxConcurrent=1)
+// so neither measurement is diluted by parallelism.
+func runScale(scaleN string, k, c, trials int, seed int64, horiz uint64, budgetMB float64) error {
+	sizes, err := parseSizes(scaleN)
+	if err != nil {
+		return err
+	}
+	horizon := horiz
+	if horizon == 0 {
+		// The gossip counter stabilises in a handful of rounds; the
+		// detector window (2c+16 at the default modulus) dominates.
+		horizon = 96
+	}
+
+	fmt.Fprintf(out, "sparse pull kernel at scale: gossip counter, k=%d samples/round, c=%d, 1%% Byzantine, adversary equivocate\n", k, c)
+	fmt.Fprintf(out, "%d trials/cell, horizon %d rounds, trials serialised for honest timing\n\n", trials, horizon)
+	fmt.Fprintf(out, "%-10s %-8s %-8s %-12s %-10s %-14s %-12s\n",
+		"n", "k", "faults", "stabilised", "mean T", "ns/round", "MB/trial")
+
+	var over []string
+	for _, n := range sizes {
+		f := n / 100
+		if f < 1 {
+			f = 1
+		}
+		faults := make([]int, f)
+		for i := range faults {
+			faults[i] = i * n / f
+		}
+		g, err := synchcount.NewGossip(n, f, c, k, seed*1000003+int64(n))
+		if err != nil {
+			return err
+		}
+		cell := fmt.Sprintf("n=%d", n)
+		sc := synchcount.PullScenario(cell, synchcount.PullConfig{
+			Alg:       g,
+			Faulty:    faults,
+			Adv:       synchcount.MustAdversary("equivocate"),
+			Seed:      seed + int64(n),
+			MaxRounds: horizon,
+			StopEarly: true,
+		}, trials)
+		sc.MaxConcurrent = 1
+		campaign := synchcount.Campaign{
+			Name:      cell,
+			Seed:      seed + int64(n),
+			Scenarios: []synchcount.Scenario{sc},
+		}
+
+		var before, after runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		result, err := synchcount.RunCampaign(context.Background(), campaign)
+		wall := time.Since(start)
+		runtime.ReadMemStats(&after)
+		if err != nil {
+			return fmt.Errorf("cell %s: %w", cell, err)
+		}
+
+		st := result.Scenarios[0].Stats
+		totalRounds := st.MeanRounds * float64(st.Trials)
+		nsPerRound := 0.0
+		if totalRounds > 0 {
+			nsPerRound = float64(wall.Nanoseconds()) / totalRounds
+		}
+		mbPerTrial := float64(after.TotalAlloc-before.TotalAlloc) / float64(1<<20) / float64(trials)
+		fmt.Fprintf(out, "%-10d %-8d %-8d %-12s %-10.1f %-14.0f %-12.1f\n",
+			n, k, f, fmt.Sprintf("%d/%d", st.Stabilised, st.Trials),
+			st.MeanTime, nsPerRound, mbPerTrial)
+		if st.Stabilised != st.Trials {
+			over = append(over, fmt.Sprintf("cell %s: only %d/%d trials stabilised", cell, st.Stabilised, st.Trials))
+		}
+		if budgetMB > 0 && mbPerTrial > budgetMB {
+			over = append(over, fmt.Sprintf("cell %s: %.1f MB/trial exceeds budget %.1f MB", cell, mbPerTrial, budgetMB))
+		}
+	}
+
+	fmt.Fprintln(out)
+	fmt.Fprintln(out, "(ns/round is wall clock over simulated rounds; MB/trial is heap TotalAlloc")
+	fmt.Fprintln(out, "delta over the cell divided by trials — a dense recv matrix would cost 8n² B)")
+	if len(over) > 0 {
+		return fmt.Errorf("scale gate failed:\n  %s", strings.Join(over, "\n  "))
+	}
+	return nil
+}
+
+// parseSizes parses the -scale-n list.
+func parseSizes(s string) ([]int, error) {
+	var sizes []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n < 2 {
+			return nil, fmt.Errorf("bad -scale-n entry %q: want integers >= 2", part)
+		}
+		sizes = append(sizes, n)
+	}
+	if len(sizes) == 0 {
+		return nil, fmt.Errorf("-scale-n is empty")
+	}
+	return sizes, nil
 }

@@ -138,6 +138,26 @@ func (t *Tally) MinValueWithCountAbove(threshold int) (uint64, bool) {
 	return best, found
 }
 
+// Plurality returns the most frequent value and its count, breaking
+// ties toward the smallest value (∞ is the largest key, as in
+// MinValueWithCountAbove). An empty tally returns (0, 0). The sampled
+// pulling-model counters use it as their vote rule: unlike Majority it
+// always elects a value, which is what lets k-sample gossip make
+// progress from a symmetric start.
+func (t *Tally) Plurality() (uint64, int) {
+	best := 0
+	for _, c := range t.counts {
+		if c > best {
+			best = c
+		}
+	}
+	if best == 0 {
+		return 0, 0
+	}
+	v, _ := t.MinValueWithCountAbove(best - 1)
+	return v, best
+}
+
 // UniformState draws a uniform state from [0, space). For every space
 // Int63n can represent it takes the historical rng.Int63n draw —
 // preserving the seed streams (and hence every golden file) bit for

@@ -194,6 +194,33 @@ func (t *DenseTally) MinValueWithCountAbove(threshold int) (uint64, bool) {
 	return best, found
 }
 
+// Plurality returns the most frequent value and its count with
+// smallest-value tie-breaking, exactly like Tally.Plurality. The scan
+// runs over the touched list (plus the sparse spill), so the cost is
+// O(distinct values), never O(domain) — the property that keeps the
+// sparse pull kernel's per-node vote at O(k).
+func (t *DenseTally) Plurality() (uint64, int) {
+	best := 0
+	for _, v := range t.touched {
+		if t.counts[v] > best {
+			best = t.counts[v]
+		}
+	}
+	for _, c := range t.sparse {
+		if c > best {
+			best = c
+		}
+	}
+	if t.inf > best {
+		best = t.inf
+	}
+	if best == 0 {
+		return 0, 0
+	}
+	v, _ := t.MinValueWithCountAbove(best - 1)
+	return v, best
+}
+
 // Counts is the read-side of a tally: what the phase king engine (and
 // every other majority-vote consumer) needs. Both *Tally and
 // *DenseTally implement it, which is what lets the batch steppers swap

@@ -58,6 +58,11 @@ func Register(fs *flag.FlagSet) *Options {
 // simulator only.
 func (o *Options) FastForward() bool { return o.fastforward }
 
+// NDJSONRequested reports whether -ndjson was set. Command modes that
+// bypass Run — and with it the NDJSON stream — use it to reject the
+// flag instead of silently dropping the stream.
+func (o *Options) NDJSONRequested() bool { return o.ndjson != "" }
+
 // ApplySim wires the -fastforward toggle and the invocation's shared
 // trajectory memo cache into one broadcast-model simulation config —
 // the one call every campaign command makes per config it builds.

@@ -84,6 +84,13 @@ type Scenario struct {
 	// such as the greedy lookahead adversary must be constructed freshly
 	// inside Run.
 	Run TrialFunc
+	// MaxConcurrent optionally bounds how many trials of this scenario
+	// run at once (0 = bounded only by Campaign.Workers). Large-n
+	// pulling-model cells use it to bound peak memory: a million-node
+	// trial holds O(n) state, so a campaign mixing huge and small cells
+	// caps the huge ones without throttling the rest. It affects
+	// scheduling only — results stay byte-identical at any setting.
+	MaxConcurrent int
 }
 
 // Campaign is a grid of scenarios executed as one parallel batch.
@@ -294,6 +301,17 @@ func (c Campaign) stream(ctx context.Context, shard *ShardSpec, sinks []Sink) er
 	completed := make(chan completion)
 	slots := make(chan struct{}, reorderWindow(workers))
 
+	// Per-scenario concurrency caps: a worker holds a scenario slot for
+	// the duration of one Run. Slots are released as soon as the trial
+	// returns, so a capped scenario can never deadlock the pool — it
+	// only serialises its own trials.
+	sems := make([]chan struct{}, len(c.Scenarios))
+	for si, s := range c.Scenarios {
+		if s.MaxConcurrent > 0 {
+			sems[si] = make(chan struct{}, s.MaxConcurrent)
+		}
+	}
+
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
@@ -303,7 +321,17 @@ func (c Campaign) stream(ctx context.Context, shard *ShardSpec, sinks []Sink) er
 					return
 				}
 				s := &c.Scenarios[j.scenario]
+				if sem := sems[j.scenario]; sem != nil {
+					select {
+					case sem <- struct{}{}:
+					case <-ctx.Done():
+						return
+					}
+				}
 				obs, err := s.Run(ctx, j.trial, j.seed)
+				if sem := sems[j.scenario]; sem != nil {
+					<-sem
+				}
 				if err != nil {
 					if ctx.Err() != nil {
 						fail(ctx.Err())
@@ -442,6 +470,9 @@ func (c Campaign) validate() error {
 		}
 		if s.Run == nil {
 			return fmt.Errorf("harness: scenario %q has no trial function", s.Name)
+		}
+		if s.MaxConcurrent < 0 {
+			return fmt.Errorf("harness: scenario %q: MaxConcurrent must not be negative", s.Name)
 		}
 	}
 	return nil

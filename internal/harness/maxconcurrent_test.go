@@ -1,0 +1,74 @@
+package harness
+
+import (
+	"context"
+	"reflect"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestMaxConcurrentBoundsScenario holds a capped scenario to its
+// concurrency bound while the rest of the pool keeps running, and
+// requires the Result to be byte-identical to the uncapped run — the
+// cap is a scheduling constraint, never a semantic one.
+func TestMaxConcurrentBoundsScenario(t *testing.T) {
+	var inFlight, maxSeen atomic.Int64
+	capped := func(ctx context.Context, trial int, seed int64) (Observation, error) {
+		cur := inFlight.Add(1)
+		for {
+			prev := maxSeen.Load()
+			if cur <= prev || maxSeen.CompareAndSwap(prev, cur) {
+				break
+			}
+		}
+		time.Sleep(time.Millisecond)
+		inFlight.Add(-1)
+		return Observation{RoundsRun: uint64(seed)}, nil
+	}
+	free := func(ctx context.Context, trial int, seed int64) (Observation, error) {
+		return Observation{RoundsRun: uint64(seed)}, nil
+	}
+	campaign := func(maxConcurrent int) Campaign {
+		return Campaign{
+			Name:    "cap",
+			Seed:    21,
+			Workers: 8,
+			Scenarios: []Scenario{
+				{Name: "big", Trials: 24, Run: capped, MaxConcurrent: maxConcurrent},
+				{Name: "small", Trials: 24, Run: free},
+			},
+		}
+	}
+
+	got, err := campaign(1).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m := maxSeen.Load(); m != 1 {
+		t.Errorf("capped scenario reached %d concurrent trials, want 1", m)
+	}
+
+	want, err := campaign(0).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Error("MaxConcurrent changed the campaign result")
+	}
+}
+
+func TestMaxConcurrentValidation(t *testing.T) {
+	c := Campaign{
+		Name: "bad",
+		Scenarios: []Scenario{{
+			Name:          "s",
+			Trials:        1,
+			Run:           func(context.Context, int, int64) (Observation, error) { return Observation{}, nil },
+			MaxConcurrent: -1,
+		}},
+	}
+	if _, err := c.Run(context.Background()); err == nil {
+		t.Fatal("negative MaxConcurrent accepted")
+	}
+}

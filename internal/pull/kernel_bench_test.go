@@ -1,0 +1,93 @@
+package pull
+
+import (
+	"testing"
+
+	"github.com/synchcount/synchcount/internal/adversary"
+	"github.com/synchcount/synchcount/internal/recursion"
+)
+
+// The BenchmarkPull_* pairs measure the sparse batch kernel against the
+// retained scalar reference loop on identical configurations, reporting
+// ns/round. They feed the BENCH_<pr>.json trajectory artifacts
+// (`make bench-json`) and the CI bench-smoke regression gate
+// (`make bench-smoke`), which fails when the sparse path's advantage
+// drops below the guard ratio.
+const (
+	// Long-horizon RunFull regime for the construction counter: enough
+	// rounds to amortise per-trial setup that both loops share.
+	benchSampledRounds = 512
+	// The gossip cell pays ~n·k work per round on both sides, so fewer
+	// rounds keep the reference side of the n = 10^4 pair minute-free.
+	benchGossipRounds = 64
+)
+
+func benchPull(b *testing.B, a Algorithm, adv adversary.Adversary, faults []int, rounds uint64, sparse bool) {
+	b.Helper()
+	cfg := Config{
+		Alg:       a,
+		Faulty:    faults,
+		Adv:       adv,
+		Seed:      5,
+		MaxRounds: rounds,
+		StopEarly: false,
+	}
+	run := RunFull
+	if !sparse {
+		run = runReference
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(rounds), "ns/round")
+}
+
+// The Theorem 4 sampled counter on the A(12,3) stack with fresh coins:
+// the randomised-sampling regime, where the sparse path's decode-once
+// caches and pooled dense tallies carry the win.
+func benchSampled(b *testing.B) *SampledCounter {
+	b.Helper()
+	p := recursion.Plan{Levels: []recursion.Level{{K: 4, F: 1}, {K: 3, F: 3}}, C: 8}
+	top, _, _, err := recursion.Build(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := NewSampled(top, 24, false, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+func BenchmarkPull_Reference_Sampled_A12_M24(b *testing.B) {
+	benchPull(b, benchSampled(b), adversary.Equivocate{}, []int{2, 9}, benchSampledRounds, false)
+}
+
+func BenchmarkPull_Sparse_Sampled_A12_M24(b *testing.B) {
+	benchPull(b, benchSampled(b), adversary.Equivocate{}, []int{2, 9}, benchSampledRounds, true)
+}
+
+// The scale workload: fixed-wiring gossip at n = 10^4 with a 1% fault
+// density — the cell the CI gate holds the sparse ≥ 1.5x line on (the
+// committed trajectory shows well above that; see BENCH_6.json).
+func benchGossip(b *testing.B) *Gossip {
+	b.Helper()
+	g, err := NewGossip(10000, 100, 8, 32, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g
+}
+
+func BenchmarkPull_Reference_Gossip_n10000_k32(b *testing.B) {
+	benchPull(b, benchGossip(b), adversary.Equivocate{}, pullSpread(10000, 100), benchGossipRounds, false)
+}
+
+func BenchmarkPull_Sparse_Gossip_n10000_k32(b *testing.B) {
+	benchPull(b, benchGossip(b), adversary.Equivocate{}, pullSpread(10000, 100), benchGossipRounds, true)
+}

@@ -39,6 +39,8 @@ type Algorithm interface {
 	StateSpace() uint64
 	// Step runs one round for the node: it may pull any targets (cost:
 	// one message per call) and must return the next state.
+	// Deterministic algorithms (alg.Deterministic) ignore rng, which may
+	// be nil for them.
 	Step(node int, own alg.State, pull Puller, rng *rand.Rand) alg.State
 	// Output maps a state to the counter value.
 	Output(node int, s alg.State) int
@@ -104,7 +106,30 @@ func RunFull(cfg Config) (Result, error) {
 	return run(cfg)
 }
 
+// run dispatches to the sparse batch kernel when the algorithm provides
+// one, and to the retained scalar reference loop otherwise. The
+// differential suite holds the two paths bit-identical.
 func run(cfg Config) (Result, error) {
+	if bs, ok := cfg.Alg.(BatchStepper); ok {
+		return runMode(cfg, bs)
+	}
+	return runMode(cfg, nil)
+}
+
+// runReference forces the scalar reference loop regardless of batch
+// support; the differential suite and the BenchmarkPull_* pairs measure
+// the kernel against it.
+func runReference(cfg Config) (Result, error) { return runMode(cfg, nil) }
+
+// deterministic reports whether a pull algorithm declares itself
+// deterministic (never consults the node rng); such runs skip per-node
+// seeding entirely.
+func deterministic(a Algorithm) bool {
+	d, ok := a.(alg.Deterministic)
+	return ok && d.Deterministic()
+}
+
+func runMode(cfg Config, batch BatchStepper) (Result, error) {
 	a := cfg.Alg
 	if a == nil {
 		return Result{}, errors.New("pull: nil algorithm")
@@ -114,7 +139,18 @@ func run(cfg Config) (Result, error) {
 	}
 	n := a.N()
 	c := a.C()
-	faulty := make([]bool, n)
+
+	// Observers may retain the states/outputs slices after the run, so
+	// those runs bypass the pool (mirroring the broadcast simulator).
+	var sc *runScratch
+	if cfg.OnRound != nil {
+		sc = newScratch(n)
+	} else {
+		sc = getScratch(n)
+		defer putScratch(sc)
+	}
+	faulty := sc.faulty
+	correct := uint64(n)
 	for _, i := range cfg.Faulty {
 		if i < 0 || i >= n {
 			return Result{}, fmt.Errorf("pull: faulty node %d out of range [0,%d)", i, n)
@@ -123,23 +159,17 @@ func run(cfg Config) (Result, error) {
 			return Result{}, fmt.Errorf("pull: faulty node %d listed twice", i)
 		}
 		faulty[i] = true
+		correct--
 	}
 	adv := cfg.Adv
 	if adv == nil {
 		adv = adversary.Equivocate{}
 	}
 
-	seeder := rand.New(rand.NewSource(cfg.Seed))
-	initRng := rand.New(rand.NewSource(seeder.Int63()))
-	advRng := rand.New(rand.NewSource(seeder.Int63()))
-	advBase := seeder.Int63()
-	nodeRngs := make([]*rand.Rand, n)
-	for i := range nodeRngs {
-		nodeRngs[i] = rand.New(rand.NewSource(seeder.Int63()))
-	}
+	advBase := sc.seedAll(cfg.Seed, n, !deterministic(a))
 
 	space := a.StateSpace()
-	states := make([]alg.State, n)
+	states := sc.states
 	if cfg.Init != nil {
 		if len(cfg.Init) != n {
 			return Result{}, fmt.Errorf("pull: Init has %d states, want %d", len(cfg.Init), n)
@@ -152,18 +182,19 @@ func run(cfg Config) (Result, error) {
 		copy(states, cfg.Init)
 	} else {
 		for i := range states {
+			states[i] = 0
 			if space > 1 {
-				states[i] = uint64(initRng.Int63n(int64(space)))
+				states[i] = uint64(sc.initRng.Int63n(int64(space)))
 			}
 		}
 	}
 
-	view := &adversary.View{States: states, Faulty: faulty, Space: space, Rng: advRng}
+	view := &adversary.View{States: states, Faulty: faulty, Space: space, Rng: sc.advRng}
 	view.SetBaseSeed(advBase)
 
 	det := sim.NewDetector(c, cfg.Window)
-	next := make([]alg.State, n)
-	outputs := make([]int, n)
+	next := sc.next
+	outputs := sc.outputs
 	var res Result
 	var totalPulls, nodeRounds uint64
 
@@ -199,6 +230,31 @@ func run(cfg Config) (Result, error) {
 		}
 
 		view.Round = round
+		if batch != nil {
+			for v := 0; v < n; v++ {
+				if faulty[v] {
+					next[v] = states[v]
+				}
+			}
+			env := &sc.env
+			env.reset(view, adv, states, next, faulty, space, sc)
+			batch.StepAll(env)
+			for v := 0; v < n; v++ {
+				if !faulty[v] && next[v] >= space {
+					return Result{}, fmt.Errorf("pull: node %d stepped outside state space", v)
+				}
+			}
+			// Batch algorithms pull a constant PullsPerRound per correct
+			// node — the same count the reference closure tallies.
+			ppr := batch.PullsPerRound()
+			totalPulls += ppr * correct
+			nodeRounds += correct
+			if correct > 0 && ppr > res.MaxPulls {
+				res.MaxPulls = ppr
+			}
+			copy(states, next)
+			continue
+		}
 		for v := 0; v < n; v++ {
 			if faulty[v] {
 				next[v] = states[v]
@@ -215,7 +271,7 @@ func run(cfg Config) (Result, error) {
 				}
 				return states[target]
 			}
-			next[v] = a.Step(v, states[v], puller, nodeRngs[v])
+			next[v] = a.Step(v, states[v], puller, sc.rng(v))
 			if next[v] >= space {
 				return Result{}, fmt.Errorf("pull: node %d stepped outside state space", v)
 			}

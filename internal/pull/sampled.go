@@ -2,7 +2,9 @@ package pull
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
+	"sync"
 
 	"github.com/synchcount/synchcount/internal/alg"
 	"github.com/synchcount/synchcount/internal/boost"
@@ -34,12 +36,21 @@ type SampledCounter struct {
 
 	pkCfg phaseking.Config
 
-	// Fixed wiring for the pseudo-random variant.
-	blockWires [][][]int // [node][block][sample] -> target
-	tallyWires [][]int   // [node][sample] -> target
+	// Fixed wiring for the pseudo-random variant, packed node-major
+	// into one flat table: (k+1)·M wires per node — k·M block-sample
+	// wires followed by M tally wires. Flat int32 storage quarters the
+	// memory of the former [][][]int layout and removes two pointer
+	// chases from every sample.
+	wires      []int32
+	wireStride int
+
+	pool sync.Pool // *sampledScratch, shared across concurrent trials
 }
 
-var _ Algorithm = (*SampledCounter)(nil)
+var (
+	_ Algorithm    = (*SampledCounter)(nil)
+	_ BatchStepper = (*SampledCounter)(nil)
+)
 
 // NewSampled wraps the boosted counter with sampled communication.
 // samples is M; pseudo selects the Corollary 5 fixed-wiring variant,
@@ -67,27 +78,36 @@ func NewSampled(top *boost.Counter, samples int, pseudo bool, wireSeed int64) (*
 		return nil, err
 	}
 	if pseudo {
+		if top.N() > math.MaxInt32 {
+			return nil, fmt.Errorf("pull: %d nodes overflow the packed wire table", top.N())
+		}
 		rng := rand.New(rand.NewSource(wireSeed))
 		n := top.N() / top.K()
-		s.blockWires = make([][][]int, top.N())
-		s.tallyWires = make([][]int, top.N())
+		s.wireStride = (top.K() + 1) * samples
+		s.wires = make([]int32, top.N()*s.wireStride)
 		for v := 0; v < top.N(); v++ {
-			s.blockWires[v] = make([][]int, top.K())
+			base := v * s.wireStride
 			for blk := 0; blk < top.K(); blk++ {
-				wires := make([]int, samples)
-				for i := range wires {
-					wires[i] = blk*n + rng.Intn(n)
+				for i := 0; i < samples; i++ {
+					s.wires[base+blk*samples+i] = int32(blk*n + rng.Intn(n))
 				}
-				s.blockWires[v][blk] = wires
 			}
-			wires := make([]int, samples)
-			for i := range wires {
-				wires[i] = rng.Intn(top.N())
+			for i := 0; i < samples; i++ {
+				s.wires[base+top.K()*samples+i] = int32(rng.Intn(top.N()))
 			}
-			s.tallyWires[v] = wires
 		}
 	}
 	return s, nil
+}
+
+// blockWire returns fixed wire idx of node v into block blk.
+func (s *SampledCounter) blockWire(v, blk, idx int) int {
+	return int(s.wires[v*s.wireStride+blk*s.m+idx])
+}
+
+// tallyWire returns fixed phase-king wire idx of node v.
+func (s *SampledCounter) tallyWire(v, idx int) int {
+	return int(s.wires[v*s.wireStride+s.top.K()*s.m+idx])
 }
 
 // M returns the sample size.
@@ -105,6 +125,12 @@ func (s *SampledCounter) Boosted() *boost.Counter { return s.top }
 func (s *SampledCounter) PullsPerRound() uint64 {
 	n := s.top.N() / s.top.K()
 	return uint64(n-1) + uint64(s.top.K()*s.m) + uint64(s.m) + 1
+}
+
+// Deterministic implements alg.Deterministic: with fixed wiring over a
+// deterministic base construction, no step ever flips a coin.
+func (s *SampledCounter) Deterministic() bool {
+	return s.pseudo && alg.IsDeterministic(s.top)
 }
 
 // N implements Algorithm.
@@ -160,7 +186,7 @@ func (s *SampledCounter) Step(v int, own alg.State, pull Puller, rng *rand.Rand)
 		for idx := 0; idx < s.m; idx++ {
 			var target int
 			if s.pseudo {
-				target = s.blockWires[v][blk][idx]
+				target = s.blockWire(v, blk, idx)
 			} else {
 				target = blk*n + rng.Intn(n)
 			}
@@ -191,7 +217,7 @@ func (s *SampledCounter) Step(v int, own alg.State, pull Puller, rng *rand.Rand)
 	for idx := 0; idx < s.m; idx++ {
 		var target int
 		if s.pseudo {
-			target = s.tallyWires[v][idx]
+			target = s.tallyWire(v, idx)
 		} else {
 			target = rng.Intn(top.N())
 		}
@@ -208,4 +234,189 @@ func (s *SampledCounter) Step(v int, own alg.State, pull Puller, rng *rand.Rand)
 		return own
 	}
 	return st
+}
+
+// sampledScratch is the pooled working set of StepAll: per-round decode
+// caches of every correct node's packed state (base field, leader
+// registers, phase king register A) plus the per-node vote buffers.
+// Decoding once per node per round — instead of once per sample — is
+// where the sparse path beats the reference loop: the reference decodes
+// O((k+1)·M) sampled states per node per round.
+type sampledScratch struct {
+	blockRecv  []alg.State // block-size receive vector for the base step
+	baseOf     []alg.State // [N] base field of start-of-round states (correct nodes)
+	ldrR       []uint64    // [N] leader round counter (correct nodes)
+	ldrPtr     []uint64    // [N] leader block pointer (correct nodes)
+	regA       []uint64    // [N] phase king register A (correct nodes)
+	sampleR    []uint64    // [k·M] leader round counters of this node's block samples
+	blockVotes []uint64    // [k]
+	ptrTally   *alg.DenseTally
+	rTally     *alg.DenseTally
+	voteTally  *alg.DenseTally
+	aTally     *alg.DenseTally
+}
+
+func (s *SampledCounter) getScratch() *sampledScratch {
+	sc, _ := s.pool.Get().(*sampledScratch)
+	if sc == nil {
+		sc = &sampledScratch{
+			ptrTally:  alg.NewDenseTally(0),
+			rTally:    alg.NewDenseTally(0),
+			voteTally: alg.NewDenseTally(0),
+			aTally:    alg.NewDenseTally(0),
+		}
+	}
+	top := s.top
+	N, k := top.N(), top.K()
+	if cap(sc.baseOf) < N {
+		sc.baseOf = make([]alg.State, N)
+		sc.ldrR = make([]uint64, N)
+		sc.ldrPtr = make([]uint64, N)
+		sc.regA = make([]uint64, N)
+	}
+	sc.baseOf = sc.baseOf[:N]
+	sc.ldrR = sc.ldrR[:N]
+	sc.ldrPtr = sc.ldrPtr[:N]
+	sc.regA = sc.regA[:N]
+	if cap(sc.blockRecv) < N/k {
+		sc.blockRecv = make([]alg.State, N/k)
+	}
+	sc.blockRecv = sc.blockRecv[:N/k]
+	if cap(sc.sampleR) < k*s.m {
+		sc.sampleR = make([]uint64, k*s.m)
+	}
+	sc.sampleR = sc.sampleR[:k*s.m]
+	if cap(sc.blockVotes) < k {
+		sc.blockVotes = make([]uint64, k)
+	}
+	sc.blockVotes = sc.blockVotes[:k]
+	sc.ptrTally.Resize(uint64(k))
+	sc.rTally.Resize(top.Tau())
+	sc.voteTally.Resize(uint64(k))
+	sc.aTally.Resize(uint64(top.C()) + 2)
+	return sc
+}
+
+// StepAll implements BatchStepper: the same transition as Step for
+// every correct node, in ascending order with reference pull/rng
+// ordering, over pooled flat scratch — no per-node allocation and no
+// dense receive matrix.
+func (s *SampledCounter) StepAll(env *BatchEnv) {
+	top := s.top
+	k := top.K()
+	N := top.N()
+	nblk := N / k
+	needRng := !(s.pseudo && alg.IsDeterministic(top))
+	sc := s.getScratch()
+	defer s.pool.Put(sc)
+
+	// Decode every correct node's packed state once for the round.
+	states := env.States()
+	for u := 0; u < N; u++ {
+		if env.Faulty(u) {
+			continue
+		}
+		st := states[u]
+		sc.baseOf[u] = top.BaseState(st)
+		r, _, ptr := top.Leader(u, st)
+		sc.ldrR[u], sc.ldrPtr[u] = r, ptr
+		sc.regA[u] = top.Registers(st).A
+	}
+
+	for v := 0; v < N; v++ {
+		if env.Faulty(v) {
+			continue
+		}
+		i, j := top.BlockOf(v), top.IndexInBlock(v)
+		var rng *rand.Rand
+		if needRng {
+			rng = env.Rng(v)
+		}
+
+		// (1) Blockmates, ascending — adversary draws for faulty
+		// blockmates happen here, before any sampling draw, exactly as
+		// in the reference Step.
+		for jj := 0; jj < nblk; jj++ {
+			u := i*nblk + jj
+			switch {
+			case u == v:
+				sc.blockRecv[jj] = sc.baseOf[v]
+			case env.Faulty(u):
+				sc.blockRecv[jj] = top.BaseState(env.Pull(u, v))
+			default:
+				sc.blockRecv[jj] = sc.baseOf[u]
+			}
+		}
+		newBase := top.Base().Step(j, sc.blockRecv, rng)
+
+		// (2) Sampled leader vote.
+		for blk := 0; blk < k; blk++ {
+			sc.ptrTally.Reset()
+			for idx := 0; idx < s.m; idx++ {
+				var target int
+				if s.pseudo {
+					target = s.blockWire(v, blk, idx)
+				} else {
+					target = blk*nblk + rng.Intn(nblk)
+				}
+				var r, ptr uint64
+				if env.Faulty(target) {
+					r, _, ptr = top.Leader(target, env.Pull(target, v))
+				} else {
+					r, ptr = sc.ldrR[target], sc.ldrPtr[target]
+				}
+				sc.sampleR[blk*s.m+idx] = r
+				sc.ptrTally.Add(ptr)
+			}
+			vote, _ := sc.ptrTally.Majority()
+			sc.blockVotes[blk] = vote
+		}
+		sc.voteTally.Reset()
+		for _, bv := range sc.blockVotes {
+			sc.voteTally.Add(bv)
+		}
+		bigB, _ := sc.voteTally.Majority()
+		if bigB >= uint64(k) {
+			bigB = 0
+		}
+		sc.rTally.Reset()
+		for idx := 0; idx < s.m; idx++ {
+			sc.rTally.Add(sc.sampleR[int(bigB)*s.m+idx])
+		}
+		bigR, _ := sc.rTally.Majority()
+		bigR %= top.Tau()
+
+		// (3) Sampled phase king.
+		sc.aTally.Reset()
+		for idx := 0; idx < s.m; idx++ {
+			var target int
+			if s.pseudo {
+				target = s.tallyWire(v, idx)
+			} else {
+				target = rng.Intn(N)
+			}
+			if env.Faulty(target) {
+				sc.aTally.Add(top.Registers(env.Pull(target, v)).A)
+			} else {
+				sc.aTally.Add(sc.regA[target])
+			}
+		}
+		king := int(phaseking.KingOf(bigR))
+		var kingA uint64
+		if king >= 0 && king < N && !env.Faulty(king) {
+			kingA = sc.regA[king]
+		} else {
+			// Out-of-range kings pull the zero state, faulty kings pull
+			// the adversary — both via Pull, as in the reference.
+			kingA = top.Registers(env.Pull(king, v)).A
+		}
+
+		regs := phaseking.Step(s.pkCfg, top.Registers(states[v]), bigR, sc.aTally, kingA)
+		st, err := top.Encode(newBase, regs)
+		if err != nil {
+			// Unreachable: newBase comes from the base algorithm.
+			st = states[v]
+		}
+		env.Set(v, st)
+	}
 }

@@ -1,0 +1,164 @@
+package pull
+
+import (
+	"math/rand"
+	"sync"
+
+	"github.com/synchcount/synchcount/internal/alg"
+)
+
+// runScratch is the per-run working set of the pulling-model simulator:
+// every O(n)-sized slice and RNG a run needs, recycled through a
+// sync.Pool exactly like the broadcast simulator's scratch. The
+// million-node cells make one extra demand the broadcast pool never
+// faced: a math/rand source costs ~5 KB, so n eagerly-seeded node
+// streams would be 5 GB at n = 10^6. Node RNGs are therefore doubly
+// lazy — seeds are drawn up front (preserving the historical master
+// seed stream), but the source behind a node's stream is allocated only
+// on the node's first draw, and deterministic algorithms skip the seed
+// draws entirely.
+type runScratch struct {
+	faulty  []bool
+	states  []alg.State
+	next    []alg.State
+	outputs []int
+	seeder  *rand.Rand
+	initRng *rand.Rand
+	advRng  *rand.Rand
+
+	// Node streams: seeds[i] is drawn eagerly by seedAll (the stream
+	// order the eager historical loop used), rngs[i]/srcs[i] materialise
+	// on first use and are lazily reseeded on pooled reuse.
+	nodeSeeds []int64
+	nodeSrcs  []*lazySource
+	nodeRngs  []*rand.Rand
+	seeded    bool
+
+	env BatchEnv
+}
+
+var scratchPool sync.Pool
+
+// getScratch fetches (or creates) a pooled scratch sized for n nodes.
+func getScratch(n int) *runScratch {
+	s, _ := scratchPool.Get().(*runScratch)
+	if s == nil {
+		s = &runScratch{}
+	}
+	s.resize(n)
+	return s
+}
+
+// putScratch returns a scratch to the pool.
+func putScratch(s *runScratch) { scratchPool.Put(s) }
+
+// newScratch returns an unpooled scratch for n nodes (used when the
+// caller may retain the state slices, see run).
+func newScratch(n int) *runScratch {
+	s := &runScratch{}
+	s.resize(n)
+	return s
+}
+
+// resize (re)provisions the working set for n nodes and clears the
+// fault mask; the state slices need no clearing because every run fully
+// overwrites them before reading.
+func (s *runScratch) resize(n int) {
+	if cap(s.faulty) < n {
+		s.faulty = make([]bool, n)
+		s.states = make([]alg.State, n)
+		s.next = make([]alg.State, n)
+		s.outputs = make([]int, n)
+	}
+	s.faulty = s.faulty[:n]
+	for i := range s.faulty {
+		s.faulty[i] = false
+	}
+	s.states = s.states[:n]
+	s.next = s.next[:n]
+	s.outputs = s.outputs[:n]
+	if s.seeder == nil {
+		s.seeder = rand.New(rand.NewSource(0))
+		s.initRng = rand.New(rand.NewSource(0))
+		s.advRng = rand.New(rand.NewSource(0))
+	}
+	s.seeded = false
+}
+
+// seedAll reproduces the historical seed derivation of run():
+// independent streams for initial states, the adversary and every node,
+// drawn from the master seed in a fixed order. withNodeRngs skips the
+// per-node seed draws for deterministic algorithms; they are the last
+// draws taken from the master seeder, so skipping them leaves every
+// other stream — and therefore every historical result — untouched.
+func (s *runScratch) seedAll(seed int64, n int, withNodeRngs bool) (advBase int64) {
+	s.seeder.Seed(seed)
+	s.initRng.Seed(s.seeder.Int63())
+	s.advRng.Seed(s.seeder.Int63())
+	advBase = s.seeder.Int63()
+	if withNodeRngs {
+		for len(s.nodeSeeds) < n {
+			s.nodeSeeds = append(s.nodeSeeds, 0)
+			s.nodeSrcs = append(s.nodeSrcs, nil)
+			s.nodeRngs = append(s.nodeRngs, nil)
+		}
+		for i := 0; i < n; i++ {
+			s.nodeSeeds[i] = s.seeder.Int63()
+			if s.nodeSrcs[i] != nil {
+				// Already materialised by an earlier pooled run: record
+				// the new seed; the scramble happens on first draw.
+				s.nodeSrcs[i].Seed(s.nodeSeeds[i])
+			}
+		}
+		s.seeded = true
+	}
+	return advBase
+}
+
+// rng returns node v's random stream, materialising it on first use.
+// It returns nil for runs of deterministic algorithms (which never
+// consult it) — the contract mirrors alg.Algorithm's "rng may be nil
+// for deterministic algorithms".
+func (s *runScratch) rng(v int) *rand.Rand {
+	if !s.seeded {
+		return nil
+	}
+	if s.nodeRngs[v] == nil {
+		src := &lazySource{inner: rand.NewSource(0).(rand.Source64)}
+		src.Seed(s.nodeSeeds[v])
+		s.nodeSrcs[v] = src
+		s.nodeRngs[v] = rand.New(src)
+	}
+	return s.nodeRngs[v]
+}
+
+// lazySource defers the expensive seed scramble of math/rand (~600
+// mixing iterations per source) until the stream is first consulted,
+// exactly as in the broadcast simulator's scratch. Values are
+// bit-identical to an eagerly seeded source: Seed only records the
+// seed, and the first draw performs exactly the scramble the eager path
+// would have.
+type lazySource struct {
+	inner   rand.Source64
+	pending int64
+	dirty   bool
+}
+
+func (l *lazySource) Seed(seed int64) { l.pending, l.dirty = seed, true }
+
+func (l *lazySource) materialize() {
+	if l.dirty {
+		l.inner.Seed(l.pending)
+		l.dirty = false
+	}
+}
+
+func (l *lazySource) Int63() int64 {
+	l.materialize()
+	return l.inner.Int63()
+}
+
+func (l *lazySource) Uint64() uint64 {
+	l.materialize()
+	return l.inner.Uint64()
+}

@@ -455,6 +455,14 @@ type (
 	// SampledCounter is the randomised counter of Theorem 4 /
 	// Corollary 5.
 	SampledCounter = pull.SampledCounter
+	// Gossip is the fixed-wiring k-sample plurality counter behind the
+	// large-n sparse pulling-model cells.
+	Gossip = pull.Gossip
+	// PullSampler is the stateless fixed-wiring neighbour sampler.
+	PullSampler = pull.Sampler
+	// PullBatchStepper is the sparse batch fast path of the pulling
+	// model; Run dispatches to it automatically.
+	PullBatchStepper = pull.BatchStepper
 )
 
 // Sampled wraps a boosted counter with the sampled communication of
@@ -467,6 +475,14 @@ func Sampled(c *Counter, m int, pseudo bool, wireSeed int64) (*SampledCounter, e
 // PullBroadcast embeds a broadcast-model algorithm in the pulling model
 // (each node pulls all n-1 peers).
 func PullBroadcast(a Algorithm) PullAlgorithm { return pull.Broadcast{A: a} }
+
+// NewGossip builds the fixed-wiring k-sample plurality c-counter on n
+// nodes: the million-node workload of the sparse pull kernel. f is the
+// fault budget recorded for reporting; wireSeed fixes the sampling
+// wiring (the Corollary 5 pattern).
+func NewGossip(n, f, c, k int, wireSeed int64) (*Gossip, error) {
+	return pull.NewGossip(n, f, c, k, wireSeed)
+}
 
 // SimulatePull runs one pulling-model simulation with early stop.
 func SimulatePull(cfg PullConfig) (PullResult, error) { return pull.Run(cfg) }
