@@ -4,19 +4,20 @@
 GO ?= go
 
 # PR number stamped into the benchmark-trajectory artifact BENCH_$(PR).json.
-PR ?= 6
+PR ?= 7
 
 # Benchmark selector for the trajectory artifacts and the CI gates:
 # the kernel Reference/Vectorized pairs, the fast-forward Off/On pairs,
-# and the pulling-model Reference/Sparse pairs.
-BENCH_PATTERN = ^Benchmark(Kernel|FF|Pull)_
+# the pulling-model Reference/Sparse pairs, and the bit-sliced
+# Reference/Sliced pairs.
+BENCH_PATTERN = ^Benchmark(Kernel|FF|Pull|Bitslice)_
 BENCH_PKGS = ./internal/sim ./internal/pull
 
 # Previous trajectory artifact `make bench-diff` compares against, and
 # its optional gate (0 = report only; cross-run ns/op diffs are noisy
 # across machines, so the enforced gates live in bench-smoke's
 # same-machine ratios instead).
-BASELINE ?= BENCH_5.json
+BASELINE ?= BENCH_6.json
 MIN_SPEEDUP ?= 0
 
 # staticcheck release the lint job pins; `make lint` soft-skips when the
@@ -24,7 +25,7 @@ MIN_SPEEDUP ?= 0
 # behalf) while CI always installs this exact version.
 STATICCHECK_VERSION ?= 2024.1.1
 
-.PHONY: build test race bench bench-json bench-smoke bench-diff fuzz-smoke shard-smoke compare-smoke pull-smoke lint fmt fmt-check vet ci
+.PHONY: build test race bench bench-json bench-smoke bench-diff fuzz-smoke shard-smoke compare-smoke pull-smoke kernel-race-smoke lint fmt fmt-check vet ci
 
 build:
 	$(GO) build ./...
@@ -38,9 +39,9 @@ race:
 bench:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
 
-# Full kernel + fast-forward + pull benchmark run, recorded as the
-# repo's benchmark trajectory artifact (BENCH_6.json for this PR;
-# override with PR=n).
+# Full kernel + fast-forward + pull + bitslice benchmark run, recorded
+# as the repo's benchmark trajectory artifact (BENCH_7.json for this
+# PR; override with PR=n).
 bench-json:
 	$(GO) test -run='^$$' -bench='$(BENCH_PATTERN)' -benchmem -benchtime=2s $(BENCH_PKGS) \
 		| $(GO) run ./cmd/benchjson -pr $(PR) -out BENCH_$(PR).json
@@ -54,9 +55,13 @@ bench-json:
 #     committed trajectory shows >= 3x, so this catches > 2x
 #     regressions), when the fast-forward engine's advantage over
 #     the plain kernel drops below 5x on any FF pair (the committed
-#     trajectory shows >= 9x on every cell), or when the sparse pull
+#     trajectory shows >= 9x on every cell), when the sparse pull
 #     kernel's advantage over the per-node reference loop drops below
-#     1.5x on any pull pair (the committed trajectory shows >= 2.3x).
+#     1.5x on any pull pair (the committed trajectory shows >= 2.3x),
+#     or when the bit-sliced kernel's advantage over the reference
+#     loop drops below 2x on any bitslice pair (the committed
+#     trajectory shows >= 4x on the randomised cells and far more on
+#     the deterministic ones).
 #     Ratios are immune to absolute machine speed but not to scheduler
 #     noise; 10 iterations per side keeps a single descheduled trial
 #     from flipping the gates on shared CI runners.
@@ -67,7 +72,7 @@ bench-json:
 bench-smoke:
 	@tmp=$$(mktemp); trap 'rm -f "$$tmp"' EXIT; \
 	$(GO) test -run='^$$' -bench='$(BENCH_PATTERN)' -benchmem -benchtime=10x $(BENCH_PKGS) > "$$tmp" && \
-	$(GO) run ./cmd/benchjson -min-speedup 1.5 -min-ff-speedup 5 -min-pull-speedup 1.5 < "$$tmp" && \
+	$(GO) run ./cmd/benchjson -min-speedup 1.5 -min-ff-speedup 5 -min-pull-speedup 1.5 -min-bitslice-speedup 2 < "$$tmp" && \
 	$(GO) run ./cmd/benchjson -baseline $(BASELINE) -min-speedup $(MIN_SPEEDUP) < "$$tmp"
 
 # Standalone baseline diff: reruns the benchmarks and compares against
@@ -128,6 +133,17 @@ pull-smoke:
 	$(GO) test -run='^TestPullKernel' ./internal/pull
 	timeout 300 $(GO) run ./cmd/pullbench -scale -scale-n 100000 -trials 2 -budget-mb 64
 
+# The kernel differential suite under the race detector: the three-way
+# reference/vectorized/bit-sliced grid, the concurrent-campaign
+# determinism check (pooled plane and vote scratch shared across
+# workers is exactly where a data race would hide), and the
+# counter-level sliced/batch/scalar equivalences. -short bounds the sim
+# grid so the instrumented run stays minute-scale; `make race` still
+# covers the whole tree at full depth.
+kernel-race-smoke:
+	$(GO) test -race -short -run '^Test(Kernel|Bitslice)' ./internal/sim
+	$(GO) test -race -run 'SlicedMatches' ./internal/counter
+
 # Static analysis at a pinned staticcheck release. Soft-skips when the
 # binary is absent (this repo never installs tools implicitly); CI
 # installs $(STATICCHECK_VERSION) and then runs this same target.
@@ -149,4 +165,4 @@ fmt-check:
 vet:
 	$(GO) vet ./...
 
-ci: build vet fmt-check lint race fuzz-smoke bench pull-smoke shard-smoke compare-smoke bench-smoke
+ci: build vet fmt-check lint race fuzz-smoke bench pull-smoke kernel-race-smoke shard-smoke compare-smoke bench-smoke

@@ -18,12 +18,16 @@
 //     (kind "pull": the per-node pulling-model loop against the sparse
 //     batch kernel)
 //
-//     go test -run '^$' -bench '^Benchmark(Kernel|FF|Pull)_' -benchmem \
-//     ./internal/sim ./internal/pull | benchjson -pr 6 -out BENCH_6.json
+//   - BenchmarkBitslice_Reference_<case> vs BenchmarkBitslice_Sliced_<case>
+//     (kind "bitslice": the scalar reference loop against the
+//     bit-sliced vote kernel)
+//
+//     go test -run '^$' -bench '^Benchmark(Kernel|FF|Pull|Bitslice)_' -benchmem \
+//     ./internal/sim ./internal/pull | benchjson -pr 7 -out BENCH_7.json
 //
 // With -min-speedup S (kernel pairs), -min-ff-speedup S (fastforward
-// pairs) and -min-pull-speedup S (pull pairs) it exits non-zero when
-// any paired case speeds up
+// pairs), -min-pull-speedup S (pull pairs) and -min-bitslice-speedup S
+// (bitslice pairs) it exits non-zero when any paired case speeds up
 // by less than S× — the `make bench-smoke` CI job runs the benchmarks
 // at a reduced count and uses this to catch regressions without
 // flaking on absolute timings, since both sides of a pair run on the
@@ -103,10 +107,13 @@ const (
 	ffOnPrefix    = "BenchmarkFF_On_"
 	pullRefPrefix = "BenchmarkPull_Reference_"
 	pullSpPrefix  = "BenchmarkPull_Sparse_"
+	bsRefPrefix   = "BenchmarkBitslice_Reference_"
+	bsSlPrefix    = "BenchmarkBitslice_Sliced_"
 
 	kindKernel      = "kernel"
 	kindFastForward = "fastforward"
 	kindPull        = "pull"
+	kindBitslice    = "bitslice"
 )
 
 func main() {
@@ -115,6 +122,7 @@ func main() {
 	minSpeedup := flag.Float64("min-speedup", 0, "fail unless every kernel Reference/Vectorized pair (and, with -baseline, every baseline diff) speeds up at least this much")
 	minFFSpeedup := flag.Float64("min-ff-speedup", 0, "fail unless every fast-forward Off/On pair speeds up at least this much")
 	minPullSpeedup := flag.Float64("min-pull-speedup", 0, "fail unless every pull Reference/Sparse pair speeds up at least this much")
+	minBitsliceSpeedup := flag.Float64("min-bitslice-speedup", 0, "fail unless every bitslice Reference/Sliced pair speeds up at least this much")
 	baseline := flag.String("baseline", "", "previous BENCH_<k>.json artifact to diff this run against benchmark by benchmark")
 	flag.Parse()
 
@@ -173,6 +181,7 @@ func main() {
 	gate(kindKernel, "-min-speedup", *minSpeedup)
 	gate(kindFastForward, "-min-ff-speedup", *minFFSpeedup)
 	gate(kindPull, "-min-pull-speedup", *minPullSpeedup)
+	gate(kindBitslice, "-min-bitslice-speedup", *minBitsliceSpeedup)
 	for _, d := range report.BaselineDiffs {
 		status := ""
 		if *minSpeedup > 0 {
@@ -300,6 +309,7 @@ var pairings = []struct {
 	{kindKernel, refPrefix, vecPrefix},
 	{kindFastForward, ffOffPrefix, ffOnPrefix},
 	{kindPull, pullRefPrefix, pullSpPrefix},
+	{kindBitslice, bsRefPrefix, bsSlPrefix},
 }
 
 // pair matches the slow-side row of each pairing with its fast-side

@@ -80,20 +80,29 @@ BenchmarkFF_On_ECount_n16_f3_RunFull16k-8  10    8200000 ns/op
 BenchmarkFF_Off_Lonely-8                   10    1000000 ns/op
 BenchmarkPull_Reference_Gossip_n10000_k32-8 1  826244834 ns/op  12910075 ns/round
 BenchmarkPull_Sparse_Gossip_n10000_k32-8    4  255457132 ns/op   3991517 ns/round
+BenchmarkBitslice_Reference_RandAgree_n64_f15-8 100  24000000 ns/op  11718 ns/round
+BenchmarkBitslice_Sliced_RandAgree_n64_f15-8    400   5400000 ns/op   2636 ns/round
 PASS
 `
 
-// TestPairKinds checks that kernel, fast-forward and pull pairs are
-// matched under their own kinds and unpaired rows stay out.
+// TestPairKinds checks that kernel, fast-forward, pull and bitslice
+// pairs are matched under their own kinds and unpaired rows stay out.
 func TestPairKinds(t *testing.T) {
 	report, err := parse(bufio.NewScanner(strings.NewReader(ffSample)))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(report.Comparisons) != 3 {
-		t.Fatalf("paired %d comparisons, want 3: %+v", len(report.Comparisons), report.Comparisons)
+	if len(report.Comparisons) != 4 {
+		t.Fatalf("paired %d comparisons, want 4: %+v", len(report.Comparisons), report.Comparisons)
 	}
 	kernel, ff, pl := report.Comparisons[0], report.Comparisons[1], report.Comparisons[2]
+	bs := report.Comparisons[3]
+	if bs.Kind != "bitslice" || bs.Case != "RandAgree_n64_f15" {
+		t.Fatalf("bitslice pair = %+v", bs)
+	}
+	if bs.Speedup < 4.3 || bs.Speedup > 4.6 {
+		t.Fatalf("bitslice speedup = %f, want ~4.4", bs.Speedup)
+	}
 	if kernel.Kind != "kernel" || kernel.Case != "ECount_n64_f7" {
 		t.Fatalf("kernel pair = %+v", kernel)
 	}

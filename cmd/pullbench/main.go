@@ -76,6 +76,9 @@ func run() error {
 		if *jsonPath != "" || *csvPath != "" {
 			return fmt.Errorf("-scale has no -json/-csv export: its wall-clock and allocation columns are environment measurements, not campaign results")
 		}
+		if err := validateScaleFlags(*scaleK, *scaleC, *trials, *budgetMB); err != nil {
+			return err
+		}
 		return runScale(*scaleN, *scaleK, *scaleC, *trials, *seed, *horiz, *budgetMB)
 	}
 
@@ -191,6 +194,27 @@ func run() error {
 
 	fmt.Fprintln(out)
 	return dist.WriteExports(result, *jsonPath, *csvPath)
+}
+
+// validateScaleFlags rejects scale-mode parameterisations that would
+// otherwise run and mislead: most importantly a negative -budget-mb,
+// which the `budgetMB > 0` gate below would treat exactly like 0 —
+// silently disabling the allocation ceiling a CI caller thought it had
+// set.
+func validateScaleFlags(k, c, trials int, budgetMB float64) error {
+	if budgetMB < 0 {
+		return fmt.Errorf("-budget-mb %g is negative: give a positive MB ceiling, or 0 for report-only (a negative budget would silently disable the gate)", budgetMB)
+	}
+	if k < 1 {
+		return fmt.Errorf("-scale-k %d: the gossip counter pulls at least one sample per round per node", k)
+	}
+	if c < 2 {
+		return fmt.Errorf("-scale-c %d: a counter modulus is at least 2", c)
+	}
+	if trials < 1 {
+		return fmt.Errorf("-trials %d: the scale campaign needs at least one trial per cell", trials)
+	}
+	return nil
 }
 
 // runScale runs one single-scenario campaign per network size and

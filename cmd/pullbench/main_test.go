@@ -1,0 +1,54 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestValidateScaleFlags pins the scale-mode flag audit: every
+// parameterisation that would run-and-mislead is rejected before the
+// campaign starts. The regression case is a negative -budget-mb, which
+// the `budgetMB > 0` gate used to treat exactly like 0 — the caller
+// thought the allocation ceiling was armed and it silently wasn't.
+func TestValidateScaleFlags(t *testing.T) {
+	if err := validateScaleFlags(32, 8, 5, 0); err != nil {
+		t.Fatalf("defaults rejected: %v", err)
+	}
+	if err := validateScaleFlags(1, 2, 1, 64); err != nil {
+		t.Fatalf("minimal valid flags rejected: %v", err)
+	}
+	for _, tc := range []struct {
+		name     string
+		k, c, tr int
+		budgetMB float64
+		wantMsg  string
+	}{
+		{"negative budget", 32, 8, 5, -1, "-budget-mb"},
+		{"zero samples", 0, 8, 5, 0, "-scale-k"},
+		{"negative samples", -3, 8, 5, 0, "-scale-k"},
+		{"modulus one", 32, 1, 5, 0, "-scale-c"},
+		{"zero trials", 32, 8, 0, 0, "-trials"},
+	} {
+		err := validateScaleFlags(tc.k, tc.c, tc.tr, tc.budgetMB)
+		if err == nil {
+			t.Errorf("%s: accepted, want error", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantMsg) {
+			t.Errorf("%s: error %q does not name the offending flag %q", tc.name, err, tc.wantMsg)
+		}
+	}
+}
+
+// TestParseSizes: the -scale-n list fails loudly on garbage, sub-2
+// sizes, and the empty list.
+func TestParseSizes(t *testing.T) {
+	if sizes, err := parseSizes(" 100, 1000 ,10000"); err != nil || len(sizes) != 3 || sizes[2] != 10000 {
+		t.Fatalf("parseSizes = %v, %v", sizes, err)
+	}
+	for _, bad := range []string{"", ",,", "100,abc", "100,1", "-5"} {
+		if _, err := parseSizes(bad); err == nil {
+			t.Errorf("parseSizes(%q) accepted, want error", bad)
+		}
+	}
+}

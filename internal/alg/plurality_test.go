@@ -40,6 +40,51 @@ func TestPluralityAgreement(t *testing.T) {
 	}
 }
 
+// TestDenseTallyDomainLimitBoundary pins the representation switch at
+// exactly DenseDomainLimit (2^16): a domain of 2^16-1 and of 2^16 get
+// the slice backing, 2^16+1 silently degrades to the sparse map — and
+// in all three regimes Add/Remove and every query agree with the
+// map-backed Tally on multisets straddling the domain edge.
+func TestDenseTallyDomainLimitBoundary(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, domain := range []uint64{DenseDomainLimit - 1, DenseDomainLimit, DenseDomainLimit + 1} {
+		d := NewDenseTally(domain)
+		wantDense := domain <= DenseDomainLimit
+		if gotDense := uint64(len(d.counts)) == domain && domain != 0; gotDense != wantDense {
+			t.Fatalf("domain %d: dense backing %v (len %d), want %v", domain, gotDense, len(d.counts), wantDense)
+		}
+		ref := NewTally(8)
+		// Values hugging both edges of the domain, out-of-domain spill
+		// included, plus the Infinity key.
+		keys := []uint64{0, 1, domain - 2, domain - 1, domain, domain + 1, ^uint64(0)}
+		var added []uint64
+		for i := 0; i < 200; i++ {
+			v := keys[rng.Intn(len(keys))]
+			d.Add(v)
+			ref.Add(v)
+			added = append(added, v)
+		}
+		checkTallyEquiv(t, d, ref, keys, rng.Intn(4))
+		// Remove half (DenseTally only; Tally has no Remove, so rebuild
+		// the reference) and re-check every query.
+		rng.Shuffle(len(added), func(i, j int) { added[i], added[j] = added[j], added[i] })
+		keep := added[:len(added)/2]
+		for _, v := range added[len(added)/2:] {
+			d.Remove(v)
+		}
+		ref2 := NewTally(8)
+		for _, v := range keep {
+			ref2.Add(v)
+		}
+		checkTallyEquiv(t, d, ref2, keys, rng.Intn(4))
+		mv, mc := ref2.Plurality()
+		dv, dc := d.Plurality()
+		if mv != dv || mc != dc {
+			t.Fatalf("domain %d: plurality after removes: map (%d,%d) vs dense (%d,%d)", domain, mv, mc, dv, dc)
+		}
+	}
+}
+
 // TestPluralityTieBreak pins the deterministic tie rule: smallest value
 // wins, and Infinity — the largest key — only wins alone.
 func TestPluralityTieBreak(t *testing.T) {

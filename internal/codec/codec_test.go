@@ -1,6 +1,7 @@
 package codec
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -172,6 +173,52 @@ func TestQuickRoundTrip(t *testing.T) {
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestMaxSpaceBoundary pins the admissibility boundary at exactly
+// 2^62: a space of MaxSpace is the largest the simulator can carry on
+// 64-bit words and must be accepted everywhere, one state more must be
+// rejected with ErrSpaceTooLarge — never wrapped around or truncated.
+func TestMaxSpaceBoundary(t *testing.T) {
+	c, err := New(MaxSpace)
+	if err != nil {
+		t.Fatalf("New(2^62) = %v, want ok", err)
+	}
+	if c.Space() != MaxSpace || c.Bits() != 62 {
+		t.Fatalf("New(2^62): space %d bits %d, want 2^62 and 62", c.Space(), c.Bits())
+	}
+	// The extreme states round-trip.
+	if v := c.MustPack(MaxSpace - 1); v != MaxSpace-1 {
+		t.Fatalf("Pack(2^62-1) = %d", v)
+	}
+	if _, err := c.Pack(MaxSpace); err == nil {
+		t.Fatal("Pack(2^62) on a 2^62 space must be out of range")
+	}
+	if _, err := New(MaxSpace + 1); !errors.Is(err, ErrSpaceTooLarge) {
+		t.Fatalf("New(2^62+1) = %v, want ErrSpaceTooLarge", err)
+	}
+	// Products: exactly at the limit via factors, then one doubling past.
+	if c, err := New(uint64(1)<<31, uint64(1)<<31); err != nil || c.Space() != MaxSpace {
+		t.Fatalf("New(2^31, 2^31) = %v (space %v), want 2^62", err, c)
+	}
+	if _, err := New(uint64(1)<<31, uint64(1)<<31, 2); !errors.Is(err, ErrSpaceTooLarge) {
+		t.Fatalf("New(2^31, 2^31, 2) = %v, want ErrSpaceTooLarge", err)
+	}
+	if got, err := MulSpaces(uint64(1)<<61, 2); err != nil || got != MaxSpace {
+		t.Fatalf("MulSpaces(2^61, 2) = %d, %v, want 2^62", got, err)
+	}
+	if _, err := MulSpaces(MaxSpace, 2); !errors.Is(err, ErrSpaceTooLarge) {
+		t.Fatalf("MulSpaces(2^62, 2) = %v, want ErrSpaceTooLarge", err)
+	}
+	if _, err := MulSpaces(MaxSpace + 1); !errors.Is(err, ErrSpaceTooLarge) {
+		t.Fatalf("MulSpaces(2^62+1) = %v, want ErrSpaceTooLarge", err)
+	}
+	if got, err := PowSpace(2, 62); err != nil || got != MaxSpace {
+		t.Fatalf("PowSpace(2, 62) = %d, %v, want 2^62", got, err)
+	}
+	if _, err := PowSpace(2, 63); !errors.Is(err, ErrSpaceTooLarge) {
+		t.Fatalf("PowSpace(2, 63) = %v, want ErrSpaceTooLarge", err)
 	}
 }
 

@@ -22,6 +22,7 @@ package counter
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 )
 
 // Trivial is the 0-resilient synchronous c-counter on a single node: its
@@ -74,6 +75,11 @@ func (t *Trivial) StabilisationBound() uint64 { return 0 }
 type MaxStep struct {
 	n int
 	c uint64
+
+	// slicePool recycles the bit-sliced stepping scratch (see
+	// bitslice.go); a per-instance sync.Pool keeps concurrent campaign
+	// trials sharing one algorithm race-free without a global.
+	slicePool sync.Pool
 }
 
 // NewMaxStep returns the n-node 0-resilient c-counter.

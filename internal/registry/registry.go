@@ -14,9 +14,11 @@
 package registry
 
 import (
+	"errors"
 	"fmt"
 
 	"github.com/synchcount/synchcount/internal/alg"
+	"github.com/synchcount/synchcount/internal/codec"
 	"github.com/synchcount/synchcount/internal/counter"
 	"github.com/synchcount/synchcount/internal/ecount"
 	"github.com/synchcount/synchcount/internal/recursion"
@@ -79,6 +81,15 @@ func (s *Spec) Build(p Params) (alg.Algorithm, error) {
 	filled := p.withDefaults(s.Default)
 	a, err := s.Build0(filled)
 	if err != nil {
+		if errors.Is(err, codec.ErrSpaceTooLarge) {
+			// Name the ceiling instead of letting the deepest codec's
+			// generic overflow bubble up: the recursion stacks pack the
+			// whole per-node state into one 64-bit word, and the packed
+			// space grows super-exponentially with resilience — theorem2
+			// tops out at f = 15 (n = 256), corollary1 and ecount-chain
+			// at f = 4.
+			return nil, fmt.Errorf("registry: %s(%v): per-node packed state exceeds the codec's 2^62 ceiling (the recursion stacks top out near n ≈ 256: theorem2 f ≤ 15, corollary1/ecount-chain f ≤ 4); request a shallower cell: %w", s.Name, filled, err)
+		}
 		return nil, fmt.Errorf("registry: %s(%v): %w", s.Name, filled, err)
 	}
 	if p.N != 0 && a.N() != p.N {

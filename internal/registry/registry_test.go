@@ -1,10 +1,12 @@
 package registry
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
 	"github.com/synchcount/synchcount/internal/alg"
+	"github.com/synchcount/synchcount/internal/codec"
 )
 
 func TestNamesAndLookup(t *testing.T) {
@@ -76,6 +78,47 @@ func TestBuildRequirements(t *testing.T) {
 		if _, err := Build(tc.name, tc.p); err == nil {
 			t.Errorf("Build(%s, %+v) succeeded, want error", tc.name, tc.p)
 		}
+	}
+}
+
+// TestBuildCeilingIsDescriptive: builds whose packed per-node state
+// blows past the codec's 2^62 ceiling must fail with an error that
+// names the ceiling (not just the deepest codec's generic overflow)
+// and still unwraps to codec.ErrSpaceTooLarge, while the largest
+// buildable cells stay buildable. theorem2's deepest feasible stack is
+// exactly f = 15 on n = 256 — the packed-state ceiling of the boost
+// recursion — so n = 256 builds and anything past it is loud.
+func TestBuildCeilingIsDescriptive(t *testing.T) {
+	if a, err := Build("theorem2", Params{N: 256, F: 15, C: 10}); err != nil {
+		t.Fatalf("theorem2 n=256 f=15 (the ceiling cell) must build: %v", err)
+	} else if a.N() != 256 || a.F() != 15 {
+		t.Fatalf("theorem2 ceiling cell built A(%d, %d), want A(256, 15)", a.N(), a.F())
+	}
+	for _, tc := range []struct {
+		name string
+		p    Params
+	}{
+		{"theorem2", Params{F: 31, C: 10}},    // next depth: n = 1024
+		{"corollary1", Params{F: 5, C: 10}},   // f^O(f) space passes 2^62
+		{"ecount-chain", Params{F: 5, C: 10}}, // chain state passes 2^62
+	} {
+		_, err := Build(tc.name, tc.p)
+		if err == nil {
+			t.Errorf("Build(%s, %v) succeeded, want ceiling error", tc.name, tc.p)
+			continue
+		}
+		if !errors.Is(err, codec.ErrSpaceTooLarge) {
+			t.Errorf("Build(%s, %v) error does not unwrap to ErrSpaceTooLarge: %v", tc.name, tc.p, err)
+		}
+		if !strings.Contains(err.Error(), "2^62 ceiling") || !strings.Contains(err.Error(), "shallower") {
+			t.Errorf("Build(%s, %v) error is not descriptive: %v", tc.name, tc.p, err)
+		}
+	}
+	// One past the ceiling by node count: no theorem2 depth runs on
+	// n = 257, so an explicit request must fail loudly rather than
+	// silently building a different size.
+	if _, err := Build("theorem2", Params{N: 257, F: 15, C: 10}); err == nil {
+		t.Fatal("theorem2 n=257 succeeded, want loud size mismatch")
 	}
 }
 

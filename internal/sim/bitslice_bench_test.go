@@ -1,0 +1,114 @@
+package sim_test
+
+import (
+	"testing"
+
+	"github.com/synchcount/synchcount/internal/adversary"
+	"github.com/synchcount/synchcount/internal/alg"
+	"github.com/synchcount/synchcount/internal/counter"
+	"github.com/synchcount/synchcount/internal/sim"
+)
+
+// The BenchmarkBitslice_* pairs measure the bit-sliced stepping path
+// against the scalar reference loop on identical configurations,
+// reporting ns/round — the third kernel comparison family beside the
+// BenchmarkKernel_* (vectorized) and BenchmarkFF_* (fast-forward)
+// pairs, gated in CI by benchjson's -min-bitslice-speedup. Fast
+// forward is off on both sides: the deterministic MaxStep cells are
+// FF-eligible and would otherwise conclude analytically after a few
+// rounds, measuring the engine instead of the kernel.
+func benchBitslice(b *testing.B, a alg.Algorithm, adv adversary.Adversary, faults []int, sliced bool) {
+	b.Helper()
+	if bs, ok := a.(alg.BitSliceStepper); !ok || bs.SliceBits() <= 0 {
+		b.Fatal("benchmark algorithm does not take the bit-sliced path")
+	}
+	cfg := sim.Config{
+		Alg:           a,
+		Faulty:        faults,
+		Adv:           adv,
+		Seed:          5,
+		MaxRounds:     benchRounds,
+		StopEarly:     false,
+		NoFastForward: true,
+		// Start from the agreed all-zero configuration: the randomised
+		// cells then stay in the stabilised counting regime for all
+		// benchRounds — every round takes the threshold branch, no
+		// coins are drawn — so the pair measures the vote kernel, not
+		// math/rand (which both sides pay identically and which
+		// dominates the pre-stabilisation coin regime). This is the
+		// RunFull violation-persistence workload of the kernel suite.
+		Init: make([]alg.State, a.N()),
+	}
+	run := sim.RunFull
+	if !sliced {
+		run = sim.RunReference
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(benchRounds), "ns/round")
+}
+
+func benchBitsliceRandAgree(b *testing.B, n, f int) alg.Algorithm {
+	b.Helper()
+	a, err := counter.NewRandomizedAgree(n, f)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return a
+}
+
+func benchBitsliceMaxStep(b *testing.B, n, c int) alg.Algorithm {
+	b.Helper()
+	a, err := counter.NewMaxStep(n, c)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return a
+}
+
+// The acceptance cell: the folklore randomised counter at the kernel
+// suite's headline size, one state bit, f = 15 patched lanes per
+// receiver.
+func BenchmarkBitslice_Reference_RandAgree_n64_f15(b *testing.B) {
+	benchBitslice(b, benchBitsliceRandAgree(b, 64, 15), adversary.Silent{}, benchSpread(64, 15), false)
+}
+
+func BenchmarkBitslice_Sliced_RandAgree_n64_f15(b *testing.B) {
+	benchBitslice(b, benchBitsliceRandAgree(b, 64, 15), adversary.Silent{}, benchSpread(64, 15), true)
+}
+
+// Three words of lanes at the maximum design fault load 3f < n.
+func BenchmarkBitslice_Reference_RandAgree_n192_f63(b *testing.B) {
+	benchBitslice(b, benchBitsliceRandAgree(b, 192, 63), adversary.Silent{}, benchSpread(192, 63), false)
+}
+
+func BenchmarkBitslice_Sliced_RandAgree_n192_f63(b *testing.B) {
+	benchBitslice(b, benchBitsliceRandAgree(b, 192, 63), adversary.Silent{}, benchSpread(192, 63), true)
+}
+
+// The multi-plane deterministic cell: four state planes (c = 10),
+// fault-free, so the whole round is the shared-maximum scan plus the
+// broadcast increment.
+func BenchmarkBitslice_Reference_MaxStep_n256_c10(b *testing.B) {
+	benchBitslice(b, benchBitsliceMaxStep(b, 256, 10), adversary.Silent{}, nil, false)
+}
+
+func BenchmarkBitslice_Sliced_MaxStep_n256_c10(b *testing.B) {
+	benchBitslice(b, benchBitsliceMaxStep(b, 256, 10), adversary.Silent{}, nil, true)
+}
+
+// Multi-plane with faults: the per-column vertical-maximum
+// reconciliation path, under per-receiver equivocation.
+func BenchmarkBitslice_Reference_MaxStep_n256_c10_overload7(b *testing.B) {
+	benchBitslice(b, benchBitsliceMaxStep(b, 256, 10), adversary.Equivocate{}, benchSpread(256, 7), false)
+}
+
+func BenchmarkBitslice_Sliced_MaxStep_n256_c10_overload7(b *testing.B) {
+	benchBitslice(b, benchBitsliceMaxStep(b, 256, 10), adversary.Equivocate{}, benchSpread(256, 7), true)
+}

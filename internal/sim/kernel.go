@@ -15,7 +15,10 @@ import (
 //     choices for the ≤ f faulty slots are collected into the patch
 //     matrix. Total copies: O(n·(f+1)) instead of the reference loop's
 //     O(n²).
-//  2. Stepping: algorithms implementing alg.BatchStepper advance all
+//  2. Stepping: algorithms taking the bit-sliced path
+//     (alg.BitSliceStepper, provisioned planes) advance 64 correct
+//     nodes per machine word from the transposed state and patch
+//     planes; algorithms implementing alg.BatchStepper advance all
 //     correct nodes in one devirtualized call, sharing the per-round
 //     vote tallies across receivers; everything else falls back to the
 //     per-node Step on the patched base.
@@ -24,10 +27,14 @@ import (
 // ascending, faulty senders ascending within each receiver — so
 // strategies drawing from the shared adversary rng produce identical
 // streams, and the whole round is bit-identical to the reference loop.
-func kernelRound(a alg.Algorithm, batch alg.BatchStepper, adv adversary.Adversary, view *adversary.View, sc *runScratch, space uint64) error {
+func kernelRound(a alg.Algorithm, batch alg.BatchStepper, sliced alg.BitSliceStepper, adv adversary.Adversary, view *adversary.View, sc *runScratch, space uint64) error {
 	n := len(sc.states)
 	base := sc.recv
-	copy(base, sc.states)
+	if sliced == nil {
+		// The bit-sliced path reads states from the transposed planes
+		// only, so the shared horizontal base is not materialised.
+		copy(base, sc.states)
+	}
 	p := &sc.patches
 	if rower, ok := adv.(adversary.RowMessenger); ok && len(p.Senders) > 0 {
 		for v := 0; v < n; v++ {
@@ -36,6 +43,12 @@ func kernelRound(a alg.Algorithm, batch alg.BatchStepper, adv adversary.Adversar
 			}
 			row := p.Values[v]
 			rower.MessageRow(view, p.Senders, v, row)
+			if sliced != nil {
+				// ScatterRows reduces into [0, space) while transposing;
+				// a separate O(n·f) pass here would be pure overhead, and
+				// nothing else reads p.Values on the bit-sliced path.
+				continue
+			}
 			for j := range row {
 				// Branch instead of unconditional division: adversaries
 				// almost always forge in-range states, and a hardware
@@ -59,7 +72,18 @@ func kernelRound(a alg.Algorithm, batch alg.BatchStepper, adv adversary.Adversar
 	}
 
 	next := sc.next
-	if batch != nil {
+	if sliced != nil {
+		if len(p.Senders) > 0 {
+			sc.planes.ScatterRows(p.Values, space)
+		}
+		sc.planes.PackStates(sc.states)
+		sliced.StepAllSliced(next, &sc.planes, p, sc.nodeRngs)
+		for v := 0; v < n; v++ {
+			if !sc.faulty[v] && next[v] >= space {
+				return fmt.Errorf("sim: node %d stepped outside state space (%d >= %d)", v, next[v], space)
+			}
+		}
+	} else if batch != nil {
 		batch.StepAll(next, base, p, sc.nodeRngs)
 		for v := 0; v < n; v++ {
 			if !sc.faulty[v] && next[v] >= space {

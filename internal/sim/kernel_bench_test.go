@@ -32,6 +32,10 @@ func benchKernel(b *testing.B, a alg.Algorithm, adv adversary.Adversary, faults 
 		Seed:      5,
 		MaxRounds: benchRounds,
 		StopEarly: false,
+		// Keep these pairs measuring the vectorized path: capable
+		// algorithms would otherwise take the bit-sliced path, which
+		// has its own BenchmarkBitslice_* pairs (bitslice_bench_test.go).
+		NoBitSlice: true,
 	}
 	run := sim.RunFull
 	if !vectorized {

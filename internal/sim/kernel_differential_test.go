@@ -27,13 +27,14 @@ func spreadFaults(n, f int) []int {
 	return out
 }
 
-// TestKernelMatchesReference is the reference-vs-vectorized
-// differential suite: every registered algorithm, under every
-// adversary class, across a seeded grid, must produce byte-identical
-// sim.Results from the vectorized kernel (sim.Run) and the retained
-// scalar reference loop. This is the contract that lets the kernel
-// replace the reference loop underneath every golden file in the
-// repository.
+// TestKernelMatchesReference is the three-way differential suite:
+// every registered algorithm, under every adversary class, across a
+// seeded grid, must produce byte-identical sim.Results from the
+// scalar reference loop, the vectorized kernel (sim.Run with
+// NoBitSlice) and — for algorithms qualifying via alg.BitSliceStepper
+// — the bit-sliced kernel (plain sim.Run). This is the contract that
+// lets the kernels replace the reference loop underneath every golden
+// file in the repository.
 func TestKernelMatchesReference(t *testing.T) {
 	seeds := []int64{3, 44}
 	for _, name := range registry.Names() {
@@ -87,6 +88,7 @@ func TestKernelMatchesReference(t *testing.T) {
 					if greedy != nil {
 						cfg.Adv = greedy()
 					}
+					cfg.NoBitSlice = true
 					got, err := sim.Run(cfg)
 					if err != nil {
 						t.Fatalf("%s: vectorized: %v", label, err)
@@ -94,6 +96,20 @@ func TestKernelMatchesReference(t *testing.T) {
 					if got != want {
 						t.Errorf("%s: kernel diverged:\n  vectorized %+v\n  reference  %+v", label, got, want)
 					}
+					if bs, ok := a.(alg.BitSliceStepper); ok && bs.SliceBits() > 0 {
+						if greedy != nil {
+							cfg.Adv = greedy()
+						}
+						cfg.NoBitSlice = false
+						got, err := sim.Run(cfg)
+						if err != nil {
+							t.Fatalf("%s: bit-sliced: %v", label, err)
+						}
+						if got != want {
+							t.Errorf("%s: bit-sliced kernel diverged:\n  bit-sliced %+v\n  reference  %+v", label, got, want)
+						}
+					}
+					cfg.NoBitSlice = false
 				}
 			}
 		}

@@ -39,6 +39,11 @@ type runScratch struct {
 	patchRows [][]alg.State
 	patches   alg.Patches
 
+	// Bit-sliced working set (see kernel.go): the transposed state and
+	// patch planes, provisioned only for runs whose algorithm takes the
+	// bit-sliced path; backing words recycle with the scratch.
+	planes alg.BitPlanes
+
 	// Fast-forward engine state (see fastforward.go): the Brent
 	// checkpoint, configuration scratch and observation ring recycle
 	// with the rest of the working set. arm/disarm reset it per run.

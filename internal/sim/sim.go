@@ -77,6 +77,14 @@ type Config struct {
 	// to propagate context cancellation into long runs.
 	Abort func() bool
 
+	// NoBitSlice disables the bit-sliced stepping path. By default,
+	// algorithms implementing alg.BitSliceStepper with SliceBits() > 0
+	// (the binary and small-modulus stacks) step all correct nodes via
+	// word-parallel vote logic on transposed bit-planes; results are
+	// bit-identical either way. The kernel benchmarks set it to keep
+	// the Reference/Vectorized pairs measuring the vectorized path.
+	NoBitSlice bool
+
 	// NoFastForward disables the periodicity-aware fast-forward engine
 	// (see internal/sim/fastforward.go). By default eligible runs —
 	// deterministic algorithm, snapshottable adversary with a finite
@@ -254,10 +262,19 @@ func runMode(cfg Config, vectorized bool) (Result, error) {
 	view.SetBaseSeed(advBase)
 
 	var batch alg.BatchStepper
+	var sliced alg.BitSliceStepper
 	var ff *ffEngine
 	if vectorized {
 		batch, _ = a.(alg.BatchStepper)
 		sc.preparePatches(n)
+		if !cfg.NoBitSlice {
+			if bs, ok := a.(alg.BitSliceStepper); ok {
+				if bits := bs.SliceBits(); bits > 0 {
+					sliced = bs
+					sc.planes.Provision(n, bits, sc.faulty)
+				}
+			}
+		}
 		// The fast-forward engine only rides the vectorized kernel; the
 		// scalar reference loop stays the plain semantic baseline the
 		// differential suites compare both against.
@@ -313,7 +330,7 @@ func runMode(cfg Config, vectorized bool) (Result, error) {
 		// Deliver messages and step every correct node.
 		view.Round = round
 		if vectorized {
-			if err := kernelRound(a, batch, adv, view, sc, space); err != nil {
+			if err := kernelRound(a, batch, sliced, adv, view, sc, space); err != nil {
 				return Result{}, err
 			}
 		} else {

@@ -87,6 +87,15 @@ type (
 	// that implement it deliver a receiver's whole faulty-sender row in
 	// one call. All built-in strategies implement it.
 	RowMessenger = adversary.RowMessenger
+	// BitSliceStepper is the bit-sliced transition hook: algorithms
+	// with narrow states (at most alg.MaxSliceBits planes) that
+	// implement it step 64 correct nodes per machine word from the
+	// transposed bit-planes. The binary-state baselines implement it.
+	BitSliceStepper = alg.BitSliceStepper
+	// BitPlanes is the transposed (vertical) working set of one
+	// bit-sliced round: state planes, patch planes and the
+	// correct-lane mask.
+	BitPlanes = alg.BitPlanes
 	// DenseTally is the slice-backed, removal-capable majority tally
 	// the batch steppers share across receivers.
 	DenseTally = alg.DenseTally
