@@ -25,7 +25,7 @@ MIN_SPEEDUP ?= 0
 # behalf) while CI always installs this exact version.
 STATICCHECK_VERSION ?= 2024.1.1
 
-.PHONY: build test race bench bench-json bench-smoke bench-diff fuzz-smoke shard-smoke compare-smoke pull-smoke kernel-race-smoke lint fmt fmt-check vet ci
+.PHONY: build test race bench bench-json bench-smoke bench-diff fuzz-smoke shard-smoke compare-smoke resultdb-smoke pull-smoke kernel-race-smoke lint fmt fmt-check vet ci
 
 build:
 	$(GO) build ./...
@@ -91,6 +91,7 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz='^FuzzShardSpec$$' -fuzztime=10s ./internal/harness
 	$(GO) test -run='^$$' -fuzz='^FuzzShardSpecParseArbitrary$$' -fuzztime=10s ./internal/harness
 	$(GO) test -run='^$$' -fuzz='^FuzzMergeResults$$' -fuzztime=10s ./internal/harness
+	$(GO) test -run='^$$' -fuzz='^FuzzReadNDJSON$$' -fuzztime=10s ./internal/harness
 	$(GO) test -run='^$$' -fuzz='^FuzzSampler$$' -fuzztime=10s ./internal/pull
 	$(GO) test -run='^$$' -fuzz='^FuzzWireTable$$' -fuzztime=10s ./internal/pull
 
@@ -123,6 +124,28 @@ compare-smoke:
 	cmp $$tmp/full.ndjson $$tmp/merged.ndjson && \
 	cmp $$tmp/full.csv $$tmp/merged.csv && \
 	echo "compare-smoke: sharded compare merge is byte-identical to the unsharded run"
+
+# The results database closing the loop on the streaming exports: one
+# compare campaign runs live (table + per-trial CSV), then again as
+# three NDJSON shards ingested out of order — plus one shard twice, so
+# dedup is exercised — and the store-reconstructed comparison table and
+# per-trial CSV must be byte-identical to the live run's. (The query
+# CSV comparison relies on this cell grid being alphabetical in grid
+# order; the compare-table path enforces grid order itself.)
+resultdb-smoke:
+	@tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	args="-algs ecount,theorem2 -f 1 -c 6 -trials 6 -seed 9"; \
+	$(GO) run ./cmd/compare $$args -table $$tmp/live.csv -csv $$tmp/live-trials.csv >/dev/null && \
+	$(GO) run ./cmd/compare $$args -shard 0/3 -ndjson $$tmp/s0.ndjson >/dev/null && \
+	$(GO) run ./cmd/compare $$args -shard 1/3 -ndjson $$tmp/s1.ndjson >/dev/null && \
+	$(GO) run ./cmd/compare $$args -shard 2/3 -ndjson $$tmp/s2.ndjson >/dev/null && \
+	$(GO) run ./cmd/resultdb ingest -db $$tmp/store $$tmp/s1.ndjson $$tmp/s0.ndjson $$tmp/s2.ndjson && \
+	$(GO) run ./cmd/resultdb ingest -db $$tmp/store $$tmp/s0.ndjson && \
+	$(GO) run ./cmd/resultdb compare-table -db $$tmp/store -algs ecount,theorem2 -f 1 -c 6 -seed 9 -table $$tmp/store.csv >/dev/null && \
+	cmp $$tmp/live.csv $$tmp/store.csv && \
+	$(GO) run ./cmd/resultdb query -db $$tmp/store -campaign compare -out csv -o $$tmp/store-trials.csv && \
+	cmp $$tmp/live-trials.csv $$tmp/store-trials.csv && \
+	echo "resultdb-smoke: store-reconstructed table and trial CSV are byte-identical to the live run"
 
 # Sparse pull kernel gate: the differential suite pins the batch path
 # bit-identical to the per-node reference loop, then one n=10^5 cell of
@@ -165,4 +188,4 @@ fmt-check:
 vet:
 	$(GO) vet ./...
 
-ci: build vet fmt-check lint race fuzz-smoke bench pull-smoke kernel-race-smoke shard-smoke compare-smoke bench-smoke
+ci: build vet fmt-check lint race fuzz-smoke bench pull-smoke kernel-race-smoke shard-smoke compare-smoke resultdb-smoke bench-smoke

@@ -77,6 +77,13 @@ func run() error {
 		// memo. Bit-identical results either way.
 		NoFastForward: !dist.FastForward(),
 	}
+	// -memo: the campaign rides the invocation's shared memo, so
+	// confirmed cycles load from (and save back to) the memo file.
+	memo, err := dist.Memo()
+	if err != nil {
+		return err
+	}
+	spec.Memo = memo
 	for _, tok := range splitList(*fsStr) {
 		f, err := strconv.Atoi(tok)
 		if err != nil {

@@ -55,6 +55,7 @@ func run() error {
 		rounds    = flag.Uint64("rounds", 0, "max rounds (default: bound + 512)")
 		window    = flag.Uint64("window", 128, "confirmation window")
 		worstInit = flag.Bool("worstinit", false, "start from the adversarially crafted initial configuration")
+		full      = flag.Bool("full", false, "run every trial for exactly -rounds rounds instead of stopping at confirmed stabilisation: counts post-stabilisation counting violations, and long verification tails are where fast-forward (and a persisted -memo) conclude analytically")
 		trials    = flag.Int("trials", 1, "number of independent runs (aggregated)")
 		workers   = flag.Int("workers", 0, "concurrent trials (0 = GOMAXPROCS)")
 		jsonPath  = flag.String("json", "", "write the campaign result as JSON to this file")
@@ -111,7 +112,7 @@ func run() error {
 			Seed:      *seed,
 			MaxRounds: maxRounds,
 			Window:    *window,
-			StopEarly: true,
+			StopEarly: !*full,
 		}
 		// -fastforward (default on): deterministic runs under
 		// snapshottable adversaries detect their configuration cycle
@@ -187,6 +188,9 @@ func run() error {
 			fmt.Fprintf(out, "result      : stabilised at round %d (ran %d rounds, window %d)\n",
 				tr.StabilisationTime, tr.RoundsRun, *window)
 			fmt.Fprintf(out, "bits/round  : %d across the network\n", tr.BitsPerRound)
+			if tr.Violations > 0 {
+				fmt.Fprintf(out, "violations  : %d post-stabilisation rounds broke counting\n", tr.Violations)
+			}
 		}
 	} else {
 		st := result.Scenarios[0].Stats

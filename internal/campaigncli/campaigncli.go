@@ -3,7 +3,9 @@
 //
 //	-shard I/K   run only shard I of a K-way split of the trial grid
 //	-ndjson F    stream per-trial records as NDJSON to F ('-' = stdout)
-//	-merge A,B   skip running; merge shard result JSON files instead
+//	-merge A,B   skip running; merge shard result files instead
+//	             (.json buffered results or .ndjson record streams)
+//	-memo F      persist the fast-forward trajectory memo across runs
 //
 // A grid too big for one process runs as K processes with identical
 // flags plus distinct -shard values, each writing its partial result
@@ -33,9 +35,11 @@ type Options struct {
 	ndjson      string
 	merge       string
 	fastforward bool
+	memoFile    string
 
 	memoOnce sync.Once
 	memo     *harness.TrajectoryMemo
+	memoErr  error
 }
 
 // Register installs -shard, -ndjson, -merge and -fastforward on fs
@@ -47,9 +51,11 @@ func Register(fs *flag.FlagSet) *Options {
 	fs.StringVar(&o.ndjson, "ndjson", "",
 		"stream per-trial records as NDJSON to this file ('-' = stdout)")
 	fs.StringVar(&o.merge, "merge", "",
-		"skip running: merge these comma-separated shard result JSON files and report/export the reassembled campaign")
+		"skip running: merge these comma-separated shard result files (.json results or .ndjson record streams) and report/export the reassembled campaign")
 	fs.BoolVar(&o.fastforward, "fastforward", true,
 		"fast-forward eligible broadcast-model runs by configuration-cycle detection (deterministic algorithms under snapshottable adversaries; results are bit-identical either way)")
+	fs.StringVar(&o.memoFile, "memo", "",
+		"persist the fast-forward trajectory memo to this file: confirmed cycles load before the run (when the file exists) and save back after, so repeat campaigns start warm (requires -fastforward)")
 	return o
 }
 
@@ -68,15 +74,49 @@ func (o *Options) NDJSONRequested() bool { return o.ndjson != "" }
 // the one call every campaign command makes per config it builds.
 // algID identifies the algorithm build in memo keys; configs of
 // different builds must pass distinct ids. Safe for concurrent use by
-// per-trial config factories.
+// per-trial config factories. A -memo load failure surfaces from Run
+// (which checks before any trial executes), not here.
 func (o *Options) ApplySim(cfg *sim.Config, algID string) {
 	if !o.fastforward {
 		cfg.NoFastForward = true
 		return
 	}
-	o.memoOnce.Do(func() { o.memo = harness.NewTrajectoryMemo(0) })
+	o.ensureMemo()
 	cfg.Memo = o.memo
 	cfg.MemoAlg = algID
+}
+
+// ensureMemo creates the invocation's shared trajectory memo once,
+// loading the -memo file into it when one exists. The load error (if
+// any) is retained for Memo and Run to surface.
+func (o *Options) ensureMemo() {
+	o.memoOnce.Do(func() {
+		o.memo = harness.NewTrajectoryMemo(0)
+		if o.memoFile == "" {
+			return
+		}
+		if _, err := os.Stat(o.memoFile); errors.Is(err, os.ErrNotExist) {
+			return // first run starts cold and saves the file after
+		}
+		if _, err := sim.LoadTrajectoryMemoFile(o.memoFile, o.memo); err != nil {
+			o.memoErr = err
+		}
+	})
+}
+
+// Memo returns the invocation's shared trajectory memo (nil with
+// -fastforward=false), creating it — and loading the -memo file — on
+// first use. Commands that build their own campaign-level memo wiring
+// (compare's CompareSpec.Memo) call this so -memo covers them too.
+func (o *Options) Memo() (*harness.TrajectoryMemo, error) {
+	if !o.fastforward {
+		if o.memoFile != "" {
+			return nil, errors.New("-memo requires -fastforward: the memo holds fast-forward cycle facts")
+		}
+		return nil, nil
+	}
+	o.ensureMemo()
+	return o.memo, o.memoErr
 }
 
 // MergeMode reports whether -merge was given, in which case the
@@ -160,7 +200,16 @@ func (o *Options) Merge() (*harness.Result, error) {
 		if path == "" {
 			continue
 		}
-		res, err := harness.ReadJSONFile(path)
+		// A shard's trial records reassemble from either export format:
+		// .ndjson streams read back through harness.ReadNDJSON, anything
+		// else is a buffered shard Result JSON.
+		var res *harness.Result
+		var err error
+		if strings.HasSuffix(path, ".ndjson") {
+			res, err = harness.ReadNDJSONFile(path)
+		} else {
+			res, err = harness.ReadJSONFile(path)
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -187,6 +236,12 @@ func (o *Options) Merge() (*harness.Result, error) {
 func (o *Options) Run(ctx context.Context, c harness.Campaign) (*harness.Result, error) {
 	if o.merge != "" {
 		return nil, errors.New("-merge set: call Merge, not Run")
+	}
+	// Surface -memo problems before any trial runs (and before touching
+	// any output file): a corrupt memo file must fail loudly, not
+	// silently run cold.
+	if _, err := o.Memo(); err != nil {
+		return nil, err
 	}
 	// Resolve the shard slice before touching any output file: a bad
 	// -shard value must error out without truncating an existing
@@ -220,6 +275,14 @@ func (o *Options) Run(ctx context.Context, c harness.Campaign) (*harness.Result,
 	}
 	if err != nil {
 		return nil, err
+	}
+	// Persist the cycles this run confirmed (plus whatever it loaded:
+	// the memo is append-only) so the next invocation starts warm. The
+	// write is atomic — a failure preserves the previous memo file.
+	if o.memoFile != "" && o.memo != nil {
+		if err := sim.SaveTrajectoryMemoFile(o.memoFile, o.memo); err != nil {
+			return nil, fmt.Errorf("saving -memo: %w", err)
+		}
 	}
 	return col.Result(), nil
 }

@@ -7,6 +7,8 @@ import (
 	"path/filepath"
 	"testing"
 
+	"github.com/synchcount/synchcount/internal/adversary"
+	"github.com/synchcount/synchcount/internal/ecount"
 	"github.com/synchcount/synchcount/internal/harness"
 	"github.com/synchcount/synchcount/internal/sim"
 )
@@ -215,5 +217,150 @@ func TestFastForwardFlag(t *testing.T) {
 	o.ApplySim(&c, "alg-c")
 	if !c.NoFastForward || c.Memo != nil {
 		t.Fatalf("ApplySim with the flag off must disable fast-forward and attach no memo, got %+v", c)
+	}
+}
+
+// TestMergeNDJSONShards pins the -merge NDJSON path: shard record
+// streams written by -ndjson reassemble — alone or mixed with shard
+// JSON results — into the unsharded campaign byte for byte.
+func TestMergeNDJSONShards(t *testing.T) {
+	dir := t.TempDir()
+	nd0 := filepath.Join(dir, "s0.ndjson")
+	nd1 := filepath.Join(dir, "s1.ndjson")
+	js1 := filepath.Join(dir, "s1.json")
+	for _, sh := range []struct{ shard, ndjson string }{{"0/2", nd0}, {"1/2", nd1}} {
+		o := &Options{shard: sh.shard, ndjson: sh.ndjson}
+		res, err := o.Run(context.Background(), testCampaign())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sh.shard == "1/2" {
+			if err := res.WriteJSONFile(js1); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	want, err := testCampaign().Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct{ name, merge string }{
+		{"ndjson+ndjson", nd0 + "," + nd1},
+		{"ndjson+json", nd0 + "," + js1},
+	} {
+		merged, err := (&Options{merge: tc.merge}).Merge()
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		a, b := filepath.Join(dir, "want.json"), filepath.Join(dir, "got.json")
+		if err := want.WriteJSONFile(a); err != nil {
+			t.Fatal(err)
+		}
+		if err := merged.WriteJSONFile(b); err != nil {
+			t.Fatal(err)
+		}
+		x, _ := os.ReadFile(a)
+		y, _ := os.ReadFile(b)
+		if string(x) != string(y) {
+			t.Fatalf("%s: merged result differs from the unsharded run", tc.name)
+		}
+	}
+}
+
+// memoTestCampaign is a small fast-forward-eligible campaign wired
+// through ApplySim, the way real commands build their scenarios.
+func memoTestCampaign(t *testing.T, o *Options) harness.Campaign {
+	t.Helper()
+	a, err := ecount.New(16, 3, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faulty := []int{0, 5, 10}
+	scen := sim.CampaignScenarioFunc("cell", 3, func(trial int) (sim.Config, error) {
+		cfg := sim.Config{
+			Alg:       a,
+			Faulty:    faulty,
+			Adv:       adversary.SplitVote{},
+			MaxRounds: 1 << 14,
+		}
+		o.ApplySim(&cfg, "ecount/n=16/f=3/c=8")
+		return cfg, nil
+	}, nil)
+	return harness.Campaign{Name: "memoed", Seed: 11, Scenarios: []harness.Scenario{scen}}
+}
+
+// TestMemoFlagPersistsAcrossRuns is the -memo end-to-end test: the
+// first run writes the memo file, the second loads it, produces a
+// byte-identical result and actually hits the loaded facts; a corrupt
+// memo file fails the run before any trial executes.
+func TestMemoFlagPersistsAcrossRuns(t *testing.T) {
+	dir := t.TempDir()
+	memoPath := filepath.Join(dir, "memo.ndjson")
+	ctx := context.Background()
+
+	newOptions := func(args ...string) *Options {
+		fs := flag.NewFlagSet("t", flag.ContinueOnError)
+		o := Register(fs)
+		if err := fs.Parse(args); err != nil {
+			t.Fatal(err)
+		}
+		return o
+	}
+
+	cold := newOptions("-memo", memoPath)
+	res1, err := cold.Run(ctx, memoTestCampaign(t, cold))
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := os.Stat(memoPath)
+	if err != nil {
+		t.Fatalf("first run did not write the memo file: %v", err)
+	}
+	if info.Size() == 0 {
+		t.Fatal("memo file is empty")
+	}
+
+	warm := newOptions("-memo", memoPath)
+	res2, err := warm.Run(ctx, memoTestCampaign(t, warm))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := filepath.Join(dir, "r1.json"), filepath.Join(dir, "r2.json")
+	if err := res1.WriteJSONFile(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := res2.WriteJSONFile(b); err != nil {
+		t.Fatal(err)
+	}
+	x, _ := os.ReadFile(a)
+	y, _ := os.ReadFile(b)
+	if string(x) != string(y) {
+		t.Fatal("warm-started campaign result differs from the cold run")
+	}
+	m, err := warm.Memo()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Len() == 0 {
+		t.Fatal("warm run loaded no memo entries")
+	}
+	if hits, _, _ := m.Stats(); hits == 0 {
+		t.Error("warm run never hit the loaded memo")
+	}
+
+	// -memo without -fastforward is a contradiction, not a silent
+	// cold run.
+	off := newOptions("-memo", memoPath, "-fastforward=false")
+	if _, err := off.Run(ctx, memoTestCampaign(t, off)); err == nil {
+		t.Fatal("-memo with -fastforward=false was accepted")
+	}
+
+	// A corrupt memo file fails the run before any trial executes.
+	if err := os.WriteFile(memoPath, []byte("not a memo\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	bad := newOptions("-memo", memoPath)
+	if _, err := bad.Run(ctx, memoTestCampaign(t, bad)); err == nil {
+		t.Fatal("corrupt memo file was accepted")
 	}
 }

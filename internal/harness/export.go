@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"strconv"
 )
 
@@ -19,13 +20,13 @@ func (r *Result) WriteJSON(w io.Writer) error {
 	return enc.Encode(r)
 }
 
-// WriteJSONFile writes the JSON export to path, creating or truncating
+// WriteJSONFile writes the JSON export to path, creating or atomically replacing
 // the file.
 func (r *Result) WriteJSONFile(path string) error {
 	return writeFile(path, r.WriteJSON)
 }
 
-// WriteCSVFile writes the CSV export to path, creating or truncating
+// WriteCSVFile writes the CSV export to path, creating or atomically replacing
 // the file.
 func (r *Result) WriteCSVFile(path string) error {
 	return writeFile(path, r.WriteCSV)
@@ -39,7 +40,7 @@ func (r *Result) WriteNDJSON(w io.Writer) error {
 }
 
 // WriteNDJSONFile writes the NDJSON export to path, creating or
-// truncating the file.
+// atomically replacing the file.
 func (r *Result) WriteNDJSONFile(path string) error {
 	return writeFile(path, r.WriteNDJSON)
 }
@@ -131,16 +132,49 @@ func ReadJSONFile(path string) (*Result, error) {
 	return res, nil
 }
 
+// writeFile writes an export atomically: the bytes land in a temp file
+// in the destination's directory and are renamed into place only after
+// a successful write and close. A failed or interrupted export can
+// therefore never destroy the previous artifact at path — os.Create
+// would have truncated it before the first byte was written.
 func writeFile(path string, write func(io.Writer) error) error {
-	f, err := os.Create(path)
+	return AtomicWriteFile(path, write)
+}
+
+// AtomicWriteFile writes the output of write to path via a temp file in
+// the same directory and an atomic rename, so a failure at any point
+// leaves any existing file at path untouched. The temp file is removed
+// on failure.
+func AtomicWriteFile(path string, write func(io.Writer) error) error {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
 	if err != nil {
 		return err
 	}
-	if err := write(f); err != nil {
+	tmp := f.Name()
+	fail := func(err error) error {
 		f.Close()
+		os.Remove(tmp)
 		return err
 	}
-	return f.Close()
+	if err := write(f); err != nil {
+		return fail(err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	// CreateTemp opens 0600; exports are ordinary artifacts, so restore
+	// the permissions os.Create would have given them.
+	if err := os.Chmod(tmp, 0o644); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
 }
 
 // csvHeader is the flat per-trial export schema.

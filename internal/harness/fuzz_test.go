@@ -1,6 +1,9 @@
 package harness
 
 import (
+	"bytes"
+	"os"
+	"path/filepath"
 	"reflect"
 	"strings"
 	"testing"
@@ -144,6 +147,43 @@ func FuzzMergeResults(f *testing.F) {
 		}
 		if !reflect.DeepEqual(merged, again) {
 			t.Fatal("re-merge of a valid merge changed it")
+		}
+	})
+}
+
+// FuzzReadNDJSON feeds ReadNDJSON arbitrary byte streams: it must
+// reject or accept without panicking, and anything accepted must be a
+// fixed point — re-exporting the Result as NDJSON and reading it back
+// reproduces the Result exactly (the property shard reassembly
+// depends on).
+func FuzzReadNDJSON(f *testing.F) {
+	if data, err := os.ReadFile(filepath.Join("testdata", "golden.ndjson")); err == nil {
+		f.Add(data)
+		// A truncated stream and a doubled stream are the classic
+		// reassembly accidents.
+		f.Add(data[:len(data)/2])
+		f.Add(append(append([]byte(nil), data...), data...))
+	}
+	f.Add([]byte(`{"campaign":"c","campaign_seed":1,"scenario":"s","scenario_seed":2,"trial":0,"seed":3,"stabilised":true,"stabilisation_time":4,"rounds_run":5,"violations":0,"messages_per_round":0,"bits_per_round":0,"max_pulls":0,"mean_pulls":0}` + "\n"))
+	f.Add([]byte("\n\nnot json\n"))
+	f.Add([]byte(`{"campaign":"","scenario":""}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		res, err := ReadNDJSON(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := res.WriteNDJSON(&buf); err != nil {
+			// Accepted floats can be unencodable (NaN/Inf never come
+			// from real streams, which this fuzz input is not).
+			t.Skip()
+		}
+		again, err := ReadNDJSON(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("accepted stream failed to re-read after re-export: %v", err)
+		}
+		if !reflect.DeepEqual(res, again) {
+			t.Fatalf("accepted stream is not a fixed point\n before: %+v\n after:  %+v", res, again)
 		}
 	})
 }

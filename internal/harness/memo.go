@@ -1,6 +1,11 @@
 package harness
 
 import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
 	"sync"
 	"sync/atomic"
 )
@@ -108,4 +113,130 @@ func (m *TrajectoryMemo) Cap() int { return m.capacity }
 // inserts since construction.
 func (m *TrajectoryMemo) Stats() (hits, misses, rejected uint64) {
 	return m.hits.Load(), m.misses.Load(), m.rejected.Load()
+}
+
+// Range calls f for every stored entry until f returns false. The
+// iteration order is unspecified; entries are immutable facts, so f
+// may retain the values it sees.
+func (m *TrajectoryMemo) Range(f func(k TrajectoryKey, v any) bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	for k, v := range m.m {
+		if !f(k, v) {
+			return
+		}
+	}
+}
+
+// memoFileSchema versions the Save/Load interchange format; a file
+// written by an incompatible revision is rejected loudly instead of
+// being half-understood.
+const memoFileSchema = "synchcount-trajectory-memo/v1"
+
+// memoFileHeader is the first line of a saved memo.
+type memoFileHeader struct {
+	Schema string `json:"schema"`
+}
+
+// memoFileEntry is one saved fact: the key plus the value serialised by
+// the caller's codec. The memo stores opaque values (the simulator owns
+// their type), so persistence is split: this package owns the framing
+// and the key encoding, the value producer supplies marshal/unmarshal.
+type memoFileEntry struct {
+	Alg       string          `json:"alg"`
+	Faulty    string          `json:"faulty"`
+	Adversary string          `json:"adversary"`
+	Phase     uint64          `json:"phase"`
+	Hash      uint64          `json:"hash,string"`
+	Value     json.RawMessage `json:"value"`
+}
+
+// Save writes every stored entry as newline-delimited JSON: a schema
+// header line, then one line per fact in deterministic (sorted-key)
+// order, each value serialised by marshal. Entries are facts about
+// deterministic dynamics, so a saved memo loaded by a later process —
+// or another machine running the same campaign — yields bit-identical
+// results to rediscovering them.
+func (m *TrajectoryMemo) Save(w io.Writer, marshal func(v any) (json.RawMessage, error)) error {
+	type kv struct {
+		k TrajectoryKey
+		v any
+	}
+	m.mu.RLock()
+	entries := make([]kv, 0, len(m.m))
+	for k, v := range m.m {
+		entries = append(entries, kv{k, v})
+	}
+	m.mu.RUnlock()
+	sort.Slice(entries, func(i, j int) bool {
+		a, b := entries[i].k, entries[j].k
+		switch {
+		case a.Alg != b.Alg:
+			return a.Alg < b.Alg
+		case a.Faulty != b.Faulty:
+			return a.Faulty < b.Faulty
+		case a.Adversary != b.Adversary:
+			return a.Adversary < b.Adversary
+		case a.Phase != b.Phase:
+			return a.Phase < b.Phase
+		default:
+			return a.Hash < b.Hash
+		}
+	})
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(memoFileHeader{Schema: memoFileSchema}); err != nil {
+		return err
+	}
+	for _, e := range entries {
+		raw, err := marshal(e.v)
+		if err != nil {
+			return fmt.Errorf("harness: memo save: key %+v: %w", e.k, err)
+		}
+		if err := enc.Encode(memoFileEntry{
+			Alg:       e.k.Alg,
+			Faulty:    e.k.Faulty,
+			Adversary: e.k.Adversary,
+			Phase:     e.k.Phase,
+			Hash:      e.k.Hash,
+			Value:     raw,
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Load reads a stream written by Save, decoding each value with
+// unmarshal (which also sees the entry's key, so it can cross-check
+// value against key) and adding the facts to the memo (first write
+// wins, the capacity bound applies — a file larger than the memo loads
+// a prefix). It returns how many entries were stored. The schema
+// header must match; a malformed line fails loudly with its position.
+func (m *TrajectoryMemo) Load(r io.Reader, unmarshal func(k TrajectoryKey, data json.RawMessage) (any, error)) (int, error) {
+	dec := json.NewDecoder(r)
+	var hdr memoFileHeader
+	if err := dec.Decode(&hdr); err != nil {
+		return 0, fmt.Errorf("harness: memo load: header: %w", err)
+	}
+	if hdr.Schema != memoFileSchema {
+		return 0, fmt.Errorf("harness: memo load: schema %q, want %q", hdr.Schema, memoFileSchema)
+	}
+	loaded := 0
+	for i := 1; ; i++ {
+		var e memoFileEntry
+		if err := dec.Decode(&e); err != nil {
+			if errors.Is(err, io.EOF) {
+				return loaded, nil
+			}
+			return loaded, fmt.Errorf("harness: memo load: entry %d: %w", i, err)
+		}
+		k := TrajectoryKey{Alg: e.Alg, Faulty: e.Faulty, Adversary: e.Adversary, Phase: e.Phase, Hash: e.Hash}
+		v, err := unmarshal(k, e.Value)
+		if err != nil {
+			return loaded, fmt.Errorf("harness: memo load: entry %d: %w", i, err)
+		}
+		if m.Add(k, v) {
+			loaded++
+		}
+	}
 }

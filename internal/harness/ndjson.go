@@ -1,0 +1,121 @@
+package harness
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// maxNDJSONLine bounds one record line. A TrialRecord serialises to a
+// few hundred bytes; a megabyte-long line is not a record stream.
+const maxNDJSONLine = 1 << 20
+
+// ReadNDJSON decodes a stream of TrialRecord lines — the format
+// NDJSONSink and (*Result).WriteNDJSON emit — back into a campaign
+// Result, closing the loop the streaming exports opened: shard NDJSON
+// files can now be reassembled exactly like shard JSON results.
+//
+// The reader is provenance-checked like Merge: every record must carry
+// the campaign name and master seed of the first record (a
+// concatenation of streams from different campaigns is rejected, not
+// silently folded together), records of one scenario must agree on the
+// scenario base seed, and a trial index appearing twice is an error.
+// Malformed lines — broken JSON, JSON that is not a trial record (a
+// shard spec, a buffered Result, an unrelated object) — fail loudly
+// with their line number.
+//
+// Trials are re-sorted into ascending index order per scenario and the
+// statistics recomputed from the records, so reading the concatenated
+// NDJSON streams of a complete contiguous shard split (in shard order)
+// reproduces the unsharded Result byte for byte, exactly like Merge
+// over the shard JSON results. Concatenating out of order reassembles
+// the same per-scenario trials and statistics; only the scenario block
+// order follows first appearance in the stream (a buffered shard JSON
+// carries the full grid in its scenario list, which an NDJSON stream
+// deliberately does not).
+func ReadNDJSON(rd io.Reader) (*Result, error) {
+	sc := bufio.NewScanner(rd)
+	sc.Buffer(make([]byte, 0, 64*1024), maxNDJSONLine)
+
+	var (
+		res   *Result
+		index map[string]int
+		line  int
+	)
+	for sc.Scan() {
+		line++
+		raw := bytes.TrimSpace(sc.Bytes())
+		if len(raw) == 0 {
+			continue // a trailing or separating newline is not a record
+		}
+		var rec TrialRecord
+		dec := json.NewDecoder(bytes.NewReader(raw))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&rec); err != nil {
+			return nil, fmt.Errorf("harness: ndjson line %d: not a trial record: %w", line, err)
+		}
+		if dec.More() {
+			return nil, fmt.Errorf("harness: ndjson line %d: trailing data after the trial record", line)
+		}
+		if rec.Campaign == "" || rec.Scenario == "" {
+			return nil, fmt.Errorf("harness: ndjson line %d: not a trial record (missing campaign or scenario)", line)
+		}
+		if res == nil {
+			res = &Result{Campaign: rec.Campaign, Seed: rec.CampaignSeed}
+			index = make(map[string]int)
+		} else if rec.Campaign != res.Campaign || rec.CampaignSeed != res.Seed {
+			return nil, fmt.Errorf("harness: ndjson line %d: record belongs to campaign %q (seed %d), stream started with %q (seed %d) — mixed-campaign streams cannot be reassembled",
+				line, rec.Campaign, rec.CampaignSeed, res.Campaign, res.Seed)
+		}
+		si, ok := index[rec.Scenario]
+		if !ok {
+			si = len(res.Scenarios)
+			res.Scenarios = append(res.Scenarios, ScenarioResult{Name: rec.Scenario, Seed: rec.ScenarioSeed})
+			index[rec.Scenario] = si
+		} else if res.Scenarios[si].Seed != rec.ScenarioSeed {
+			return nil, fmt.Errorf("harness: ndjson line %d: scenario %q base seed mismatch: %d vs %d",
+				line, rec.Scenario, res.Scenarios[si].Seed, rec.ScenarioSeed)
+		}
+		res.Scenarios[si].Trials = append(res.Scenarios[si].Trials, rec.Trial)
+	}
+	if err := sc.Err(); err != nil {
+		if errors.Is(err, bufio.ErrTooLong) {
+			return nil, fmt.Errorf("harness: ndjson line %d: line exceeds %d bytes — not a trial record stream", line+1, maxNDJSONLine)
+		}
+		return nil, err
+	}
+	if res == nil {
+		return nil, errors.New("harness: ndjson stream holds no trial records")
+	}
+	for si := range res.Scenarios {
+		s := &res.Scenarios[si]
+		sort.SliceStable(s.Trials, func(i, j int) bool { return s.Trials[i].Trial < s.Trials[j].Trial })
+		for i := 1; i < len(s.Trials); i++ {
+			if s.Trials[i].Trial == s.Trials[i-1].Trial {
+				return nil, fmt.Errorf("harness: ndjson: scenario %q: trial %d appears more than once in the stream", s.Name, s.Trials[i].Trial)
+			}
+		}
+		s.Stats = Aggregate(s.Trials)
+	}
+	return res, nil
+}
+
+// ReadNDJSONFile reads a campaign Result from an NDJSON trial-record
+// file written by WriteNDJSONFile or a live NDJSONSink.
+func ReadNDJSONFile(path string) (*Result, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	res, err := ReadNDJSON(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return res, nil
+}

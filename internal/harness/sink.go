@@ -2,6 +2,7 @@ package harness
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
 )
 
@@ -128,11 +129,18 @@ func (c *Collector) Begin(meta CampaignMeta) error {
 }
 
 // Emit appends one record. Records for scenarios not announced via
-// Begin (standalone use) are added in first-seen order.
+// Begin (standalone use) are added in first-seen order. Provenance is
+// checked with Merge's strictness: the first record (or Begin) pins the
+// campaign name and master seed, and every later record must agree —
+// folding a foreign campaign's trials into this result would silently
+// corrupt its statistics.
 func (c *Collector) Emit(rec TrialRecord) error {
 	if c.res == nil {
 		c.res = &Result{Campaign: rec.Campaign, Seed: rec.CampaignSeed}
 		c.index = make(map[string]int)
+	} else if rec.Campaign != c.res.Campaign || rec.CampaignSeed != c.res.Seed {
+		return fmt.Errorf("harness: collector: record belongs to campaign %q (seed %d), collecting %q (seed %d)",
+			rec.Campaign, rec.CampaignSeed, c.res.Campaign, c.res.Seed)
 	}
 	si, ok := c.index[rec.Scenario]
 	if !ok {
@@ -142,6 +150,9 @@ func (c *Collector) Emit(rec TrialRecord) error {
 			Seed: rec.ScenarioSeed,
 		})
 		c.index[rec.Scenario] = si
+	} else if c.res.Scenarios[si].Seed != rec.ScenarioSeed {
+		return fmt.Errorf("harness: collector: scenario %q base seed mismatch: %d vs %d",
+			rec.Scenario, c.res.Scenarios[si].Seed, rec.ScenarioSeed)
 	}
 	c.res.Scenarios[si].Trials = append(c.res.Scenarios[si].Trials, rec.Trial)
 	return nil

@@ -57,6 +57,12 @@ type CompareSpec struct {
 	// straight to the memoised conclusion. Results are bit-identical
 	// either way; the toggle exists for measurement and as a canary.
 	NoFastForward bool
+	// Memo optionally supplies the trajectory memo the campaign's
+	// trials share — a caller-owned memo survives the campaign, so it
+	// can be persisted (sim.SaveTrajectoryMemoFile) and reloaded to
+	// start repeat campaigns warm. Nil builds a fresh per-campaign
+	// memo; ignored under NoFastForward.
+	Memo *harness.TrajectoryMemo
 }
 
 // CompareCell is the static, per-build metadata of one compare
@@ -138,7 +144,10 @@ func (cs CompareSpec) Campaign() (harness.Campaign, []CompareCell, error) {
 	// the whole compare grid.
 	var memo *harness.TrajectoryMemo
 	if !cs.NoFastForward {
-		memo = harness.NewTrajectoryMemo(0)
+		memo = cs.Memo
+		if memo == nil {
+			memo = harness.NewTrajectoryMemo(0)
+		}
 	}
 	var cells []CompareCell
 	for _, name := range cs.Algs {

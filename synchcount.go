@@ -203,6 +203,17 @@ func MergeCampaignResults(parts ...*CampaignResult) (*CampaignResult, error) {
 // by CampaignResult.WriteJSONFile — the shard hand-off format.
 func ReadCampaignResult(path string) (*CampaignResult, error) { return harness.ReadJSONFile(path) }
 
+// ReadCampaignNDJSON reassembles a campaign result from a stream of
+// NDJSON trial records (CampaignResult.WriteNDJSON / CampaignNDJSONSink
+// output). Concatenations of shard streams are valid input, so NDJSON
+// is a first-class shard hand-off format alongside the buffered JSON.
+func ReadCampaignNDJSON(r io.Reader) (*CampaignResult, error) { return harness.ReadNDJSON(r) }
+
+// ReadCampaignNDJSONFile is ReadCampaignNDJSON over a file.
+func ReadCampaignNDJSONFile(path string) (*CampaignResult, error) {
+	return harness.ReadNDJSONFile(path)
+}
+
 // CampaignNDJSONSink returns a sink streaming one JSON line per trial
 // to w, byte-identical to CampaignResult.WriteNDJSON of the same
 // campaign.
@@ -244,6 +255,20 @@ type (
 // SimConfigs of a campaign via SimConfig.Memo/MemoAlg to share cycle
 // discoveries across trials.
 func NewTrajectoryMemo(capacity int) *TrajectoryMemo { return harness.NewTrajectoryMemo(capacity) }
+
+// SaveTrajectoryMemoFile persists a trajectory memo's confirmed cycles
+// as a deterministic NDJSON file (atomic write), so repeat campaigns in
+// later processes start warm.
+func SaveTrajectoryMemoFile(path string, m *TrajectoryMemo) error {
+	return sim.SaveTrajectoryMemoFile(path, m)
+}
+
+// LoadTrajectoryMemoFile loads a saved trajectory memo into m,
+// returning the number of entries restored. Foreign, stale or tampered
+// files are rejected loudly; a missing file satisfies os.IsNotExist.
+func LoadTrajectoryMemoFile(path string, m *TrajectoryMemo) (int, error) {
+	return sim.LoadTrajectoryMemoFile(path, m)
+}
 
 // AdversarySnapshotPeriod reports an adversary's snapshot period and
 // whether fast-forwarding may cycle-detect under it.
