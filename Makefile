@@ -25,7 +25,7 @@ MIN_SPEEDUP ?= 0
 # behalf) while CI always installs this exact version.
 STATICCHECK_VERSION ?= 2024.1.1
 
-.PHONY: build test race bench bench-json bench-smoke bench-diff fuzz-smoke shard-smoke compare-smoke resultdb-smoke pull-smoke kernel-race-smoke lint fmt fmt-check vet ci
+.PHONY: build test race bench bench-json bench-smoke bench-diff fuzz-smoke shard-smoke compare-smoke resultdb-smoke pull-smoke kernel-race-smoke live-smoke lint fmt fmt-check vet ci
 
 build:
 	$(GO) build ./...
@@ -94,6 +94,8 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz='^FuzzReadNDJSON$$' -fuzztime=10s ./internal/harness
 	$(GO) test -run='^$$' -fuzz='^FuzzSampler$$' -fuzztime=10s ./internal/pull
 	$(GO) test -run='^$$' -fuzz='^FuzzWireTable$$' -fuzztime=10s ./internal/pull
+	$(GO) test -run='^$$' -fuzz='^FuzzCodecDecode$$' -fuzztime=10s ./internal/codec
+	$(GO) test -run='^$$' -fuzz='^FuzzDecodeFrame$$' -fuzztime=10s ./internal/live
 
 # One campaign as two shards in separate processes, merged, and diffed
 # byte-for-byte against the unsharded run.
@@ -167,6 +169,27 @@ kernel-race-smoke:
 	$(GO) test -race -short -run '^Test(Kernel|Bitslice)' ./internal/sim
 	$(GO) test -race -run 'SlicedMatches' ./internal/counter
 
+# Live-runtime gate: the package suite under the race detector, then a
+# short seeded n=32 soak (crash/restart plus a partition per burst) of
+# the race-instrumented liverun binary, twice from the same seed. The
+# PASS verdict (exit code) asserts every burst re-stabilised within the
+# stack's declared bound; the byte-diffs assert the chaos timeline and
+# the per-fault recovery-latency records replay identically across real
+# goroutine concurrency; the ingest closes the loop into resultdb.
+live-smoke:
+	$(GO) test -race ./internal/live
+	@tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	args="-n 32 -f 3 -c 8 -seed 1 -faults crash,partition -bursts 2 -burst-len 8 -timeout 5s -budget 240s"; \
+	$(GO) build -race -o $$tmp/liverun ./cmd/liverun && \
+	$$tmp/liverun $$args -timeline > $$tmp/timeline-a.txt && \
+	$$tmp/liverun $$args -timeline > $$tmp/timeline-b.txt && \
+	cmp $$tmp/timeline-a.txt $$tmp/timeline-b.txt && \
+	$$tmp/liverun $$args -ndjson $$tmp/soak-a.ndjson && \
+	$$tmp/liverun $$args -ndjson $$tmp/soak-b.ndjson && \
+	cmp $$tmp/soak-a.ndjson $$tmp/soak-b.ndjson && \
+	$(GO) run ./cmd/resultdb ingest -db $$tmp/store $$tmp/soak-a.ndjson && \
+	echo "live-smoke: soak passed within the declared bound; timeline and recovery records replay byte-identically"
+
 # Static analysis at a pinned staticcheck release. Soft-skips when the
 # binary is absent (this repo never installs tools implicitly); CI
 # installs $(STATICCHECK_VERSION) and then runs this same target.
@@ -188,4 +211,4 @@ fmt-check:
 vet:
 	$(GO) vet ./...
 
-ci: build vet fmt-check lint race fuzz-smoke bench pull-smoke kernel-race-smoke shard-smoke compare-smoke resultdb-smoke bench-smoke
+ci: build vet fmt-check lint race fuzz-smoke bench pull-smoke kernel-race-smoke shard-smoke compare-smoke resultdb-smoke bench-smoke live-smoke

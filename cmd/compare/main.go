@@ -50,7 +50,7 @@ func run() error {
 		advStr    = flag.String("adversaries", "silent,splitvote", "comma-separated Byzantine strategies")
 		faults    = flag.Int("faults", 0, "Byzantine nodes injected per run (0 = each algorithm's declared resilience)")
 		trials    = flag.Int("trials", 10, "independent runs per (algorithm, resilience, adversary) cell")
-		rounds    = flag.Uint64("rounds", 0, "max rounds per run (0 = declared bound + slack, or the spec time budget)")
+		rounds    = flag.Int64("rounds", 0, "max rounds per run (0 = declared bound + slack, or the spec time budget)")
 		window    = flag.Uint64("window", 0, "stabilisation confirmation window (0 = simulator default)")
 		seed      = flag.Int64("seed", 1, "campaign base seed (all algorithms face the identical trial-seed stream)")
 		workers   = flag.Int("workers", 0, "concurrent trials (0 = GOMAXPROCS)")
@@ -62,13 +62,17 @@ func run() error {
 	flag.Parse()
 	out = dist.HumanOut()
 
+	if err := validateFlags(*trials, *workers, *rounds, *faults); err != nil {
+		return err
+	}
+
 	spec := registry.CompareSpec{
 		Algs:        splitList(*algsStr),
 		C:           *c,
 		Adversaries: splitList(*advStr),
 		Faults:      *faults,
 		Trials:      *trials,
-		Rounds:      *rounds,
+		Rounds:      uint64(*rounds),
 		Window:      *window,
 		Seed:        *seed,
 		Workers:     *workers,
@@ -88,6 +92,9 @@ func run() error {
 		f, err := strconv.Atoi(tok)
 		if err != nil {
 			return fmt.Errorf("bad -f value %q: %w", tok, err)
+		}
+		if f < 0 {
+			return fmt.Errorf("-f value %d is negative: resilience counts Byzantine nodes", f)
 		}
 		spec.Fs = append(spec.Fs, f)
 	}
@@ -159,6 +166,26 @@ func run() error {
 		fmt.Fprintf(out, "table: wrote %s\n", *tablePath)
 	}
 	return dist.WriteExports(result, *jsonPath, *csvPath)
+}
+
+// validateFlags rejects nonsensical grid sizes with descriptive errors
+// before any campaign machinery spins up, mirroring pullbench's
+// validateScaleFlags: a negative count silently clamped is a campaign
+// that runs and misleads.
+func validateFlags(trials, workers int, rounds int64, faults int) error {
+	if trials < 1 {
+		return fmt.Errorf("-trials %d: each grid cell needs at least one trial", trials)
+	}
+	if workers < 0 {
+		return fmt.Errorf("-workers %d is negative: give a worker count, or 0 for GOMAXPROCS", workers)
+	}
+	if rounds < 0 {
+		return fmt.Errorf("-rounds %d is negative: give a round horizon, or 0 for the bound-derived default", rounds)
+	}
+	if faults < 0 {
+		return fmt.Errorf("-faults %d is negative: give the Byzantine nodes per run, or 0 for each algorithm's declared resilience", faults)
+	}
+	return nil
 }
 
 func splitList(s string) []string {

@@ -1,0 +1,50 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestValidateFlags pins the grid-size flag audit: negative or zero
+// counts fail loudly with the offending flag named, before any
+// campaign machinery spins up.
+func TestValidateFlags(t *testing.T) {
+	if err := validateFlags(10, 0, 0, 0); err != nil {
+		t.Fatalf("defaults rejected: %v", err)
+	}
+	if err := validateFlags(1, 4, 5000, 3); err != nil {
+		t.Fatalf("valid grid flags rejected: %v", err)
+	}
+	for _, tc := range []struct {
+		name            string
+		trials, workers int
+		rounds          int64
+		faults          int
+		wantMsg         string
+	}{
+		{"zero trials", 0, 0, 0, 0, "-trials"},
+		{"negative trials", -1, 0, 0, 0, "-trials"},
+		{"negative workers", 10, -4, 0, 0, "-workers"},
+		{"negative rounds", 10, 0, -1, 0, "-rounds"},
+		{"negative faults", 10, 0, 0, -3, "-faults"},
+	} {
+		err := validateFlags(tc.trials, tc.workers, tc.rounds, tc.faults)
+		if err == nil {
+			t.Errorf("%s: accepted, want error", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantMsg) {
+			t.Errorf("%s: error %q does not name the offending flag %q", tc.name, err, tc.wantMsg)
+		}
+	}
+}
+
+func TestSplitList(t *testing.T) {
+	got := splitList(" ecount, theorem2 ,,corollary1 ")
+	if len(got) != 3 || got[0] != "ecount" || got[1] != "theorem2" || got[2] != "corollary1" {
+		t.Fatalf("splitList = %v", got)
+	}
+	if got := splitList(""); len(got) != 0 {
+		t.Fatalf("splitList(\"\") = %v, want empty", got)
+	}
+}

@@ -52,7 +52,7 @@ func run() error {
 		faultsStr = flag.String("faults", "", "comma-separated Byzantine node indices")
 		advName   = flag.String("adversary", "splitvote", "adversary: "+strings.Join(synchcount.Adversaries(), " | ")+" | saboteur | greedy")
 		seed      = flag.Int64("seed", 1, "campaign base seed (per-trial seeds are derived deterministically)")
-		rounds    = flag.Uint64("rounds", 0, "max rounds (default: bound + 512)")
+		rounds    = flag.Int64("rounds", 0, "max rounds (0 = bound + 512)")
 		window    = flag.Uint64("window", 128, "confirmation window")
 		worstInit = flag.Bool("worstinit", false, "start from the adversarially crafted initial configuration")
 		full      = flag.Bool("full", false, "run every trial for exactly -rounds rounds instead of stopping at confirmed stabilisation: counts post-stabilisation counting violations, and long verification tails are where fast-forward (and a persisted -memo) conclude analytically")
@@ -64,6 +64,10 @@ func run() error {
 	dist := campaigncli.Register(flag.CommandLine)
 	flag.Parse()
 	out = dist.HumanOut()
+
+	if err := validateFlags(*trials, *workers, *rounds); err != nil {
+		return err
+	}
 
 	// Merge mode reassembles shard results written with -json; no
 	// simulation runs, so the algorithm flags are ignored.
@@ -94,7 +98,7 @@ func run() error {
 	if b, err := synchcount.StabilisationBound(a); err == nil {
 		bound = b
 	}
-	maxRounds := *rounds
+	maxRounds := uint64(*rounds)
 	if maxRounds == 0 {
 		maxRounds = bound + 512
 		if bound == 0 {
@@ -165,9 +169,6 @@ func run() error {
 	// flags always measure the same runs whether or not an export flag
 	// is present.
 	trialCount := *trials
-	if trialCount < 1 {
-		trialCount = 1
-	}
 	scenario := synchcount.SimScenarioFunc(*algName, trialCount, buildConfig)
 	scenario.Seed = seed
 	result, err := dist.Run(context.Background(), synchcount.Campaign{
@@ -208,6 +209,22 @@ func run() error {
 		}
 	}
 	return dist.WriteExports(result, *jsonPath, *csvPath)
+}
+
+// validateFlags rejects nonsensical run sizes with descriptive errors
+// instead of silently clamping them (the old behaviour quietly turned
+// -trials -5 into one trial, so a typo'd campaign ran and misled).
+func validateFlags(trials, workers int, rounds int64) error {
+	if trials < 1 {
+		return fmt.Errorf("-trials %d: a campaign needs at least one trial", trials)
+	}
+	if workers < 0 {
+		return fmt.Errorf("-workers %d is negative: give a worker count, or 0 for GOMAXPROCS", workers)
+	}
+	if rounds < 0 {
+		return fmt.Errorf("-rounds %d is negative: give a round horizon, or 0 for the bound-derived default", rounds)
+	}
+	return nil
 }
 
 func buildAlgorithm(name string, n, f, k, depth, c int) (synchcount.Algorithm, *synchcount.Counter, error) {

@@ -1,0 +1,39 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestValidateFlags pins the run-size flag audit: negative or zero
+// counts are rejected with an error naming the offending flag, instead
+// of the old silent clamp (-trials -5 used to run one trial and
+// mislead).
+func TestValidateFlags(t *testing.T) {
+	if err := validateFlags(1, 0, 0); err != nil {
+		t.Fatalf("defaults rejected: %v", err)
+	}
+	if err := validateFlags(100, 8, 1<<20); err != nil {
+		t.Fatalf("valid campaign flags rejected: %v", err)
+	}
+	for _, tc := range []struct {
+		name            string
+		trials, workers int
+		rounds          int64
+		wantMsg         string
+	}{
+		{"zero trials", 0, 0, 0, "-trials"},
+		{"negative trials", -5, 0, 0, "-trials"},
+		{"negative workers", 1, -2, 0, "-workers"},
+		{"negative rounds", 1, 0, -100, "-rounds"},
+	} {
+		err := validateFlags(tc.trials, tc.workers, tc.rounds)
+		if err == nil {
+			t.Errorf("%s: accepted, want error", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantMsg) {
+			t.Errorf("%s: error %q does not name the offending flag %q", tc.name, err, tc.wantMsg)
+		}
+	}
+}

@@ -1,0 +1,50 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func goodFlags() *liveFlags {
+	return &liveFlags{
+		algName: "ecount", n: 32, f: 3, c: 8, seed: 1,
+		faults: "crash,loss,partition", bursts: 3, burstLen: 8,
+		timeout: time.Second,
+	}
+}
+
+// TestValidateFlags pins the soak flag audit: a negative count or a
+// non-positive deadline is rejected with the offending flag named —
+// a silently clamped value would soak nothing and report success.
+func TestValidateFlags(t *testing.T) {
+	if err := validateFlags(goodFlags()); err != nil {
+		t.Fatalf("defaults rejected: %v", err)
+	}
+	for _, tc := range []struct {
+		name    string
+		mut     func(*liveFlags)
+		wantMsg string
+	}{
+		{"one node", func(fl *liveFlags) { fl.n = 1 }, "-n"},
+		{"negative resilience", func(fl *liveFlags) { fl.f = -1 }, "-f"},
+		{"modulus one", func(fl *liveFlags) { fl.c = 1 }, "-c"},
+		{"negative bursts", func(fl *liveFlags) { fl.bursts = -1 }, "-bursts"},
+		{"negative crashes", func(fl *liveFlags) { fl.crashes = -2 }, "-crashes"},
+		{"negative rounds", func(fl *liveFlags) { fl.rounds = -10 }, "-rounds"},
+		{"negative window", func(fl *liveFlags) { fl.window = -1 }, "-window"},
+		{"zero timeout", func(fl *liveFlags) { fl.timeout = 0 }, "-timeout"},
+		{"negative budget", func(fl *liveFlags) { fl.budget = -time.Second }, "-budget"},
+	} {
+		fl := goodFlags()
+		tc.mut(fl)
+		err := validateFlags(fl)
+		if err == nil {
+			t.Errorf("%s: accepted, want error", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantMsg) {
+			t.Errorf("%s: error %q does not name the offending flag %q", tc.name, err, tc.wantMsg)
+		}
+	}
+}

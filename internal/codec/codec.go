@@ -140,6 +140,70 @@ func (c *Codec) WithField(v uint64, i int, x uint64) uint64 {
 	return v + (x%r-old)*lo
 }
 
+// StateWordSize is the wire size of one encoded state word: the dense
+// representation travels as a fixed-width 8-byte big-endian field so
+// that frames have a static layout and truncation is detectable by
+// length alone.
+const StateWordSize = 8
+
+// ErrShortStateWord is returned by DecodeStateWord for inputs shorter
+// than a full state word — a truncated frame must fail loudly, never be
+// zero-padded into a valid-looking state.
+var ErrShortStateWord = errors.New("codec: truncated state word")
+
+// AppendStateWord appends the wire encoding of state v drawn from a
+// space of the given size. Encoding is total only for in-space values:
+// honest senders never hold an out-of-space word, so an attempt to
+// encode one is a program error reported loudly rather than reduced
+// silently.
+func AppendStateWord(dst []byte, v, space uint64) ([]byte, error) {
+	if space == 0 {
+		return nil, errors.New("codec: zero-sized space")
+	}
+	if v >= space {
+		return nil, fmt.Errorf("codec: state %d outside space %d", v, space)
+	}
+	return append(dst,
+		byte(v>>56), byte(v>>48), byte(v>>40), byte(v>>32),
+		byte(v>>24), byte(v>>16), byte(v>>8), byte(v),
+	), nil
+}
+
+// DecodeStateWord decodes the wire form of one state word and validates
+// it against the state space. The input is untrusted — the live
+// transport hands this function bytes that may have been truncated,
+// bit-flipped or wholly forged — so every failure mode is an error,
+// never a panic and never a silently reduced value: a receiver that
+// wants the adversarial mod-space reduction applies it explicitly via
+// (*Codec).Unpack after deciding the frame is authentic.
+func DecodeStateWord(b []byte, space uint64) (uint64, error) {
+	if len(b) < StateWordSize {
+		return 0, fmt.Errorf("%w: got %d of %d bytes", ErrShortStateWord, len(b), StateWordSize)
+	}
+	if space == 0 {
+		return 0, errors.New("codec: zero-sized space")
+	}
+	v := uint64(b[0])<<56 | uint64(b[1])<<48 | uint64(b[2])<<40 | uint64(b[3])<<32 |
+		uint64(b[4])<<24 | uint64(b[5])<<16 | uint64(b[6])<<8 | uint64(b[7])
+	if v >= space {
+		return 0, fmt.Errorf("codec: decoded state %d outside space %d", v, space)
+	}
+	return v, nil
+}
+
+// AppendState appends the wire encoding of a state of this codec's
+// space; see AppendStateWord.
+func (c *Codec) AppendState(dst []byte, v uint64) ([]byte, error) {
+	return AppendStateWord(dst, v, c.space)
+}
+
+// DecodeState decodes and validates one wire state word of this codec's
+// space; see DecodeStateWord. The returned word is in [0, Space()), so
+// Unpack on it yields in-range fields.
+func (c *Codec) DecodeState(b []byte) (uint64, error) {
+	return DecodeStateWord(b, c.space)
+}
+
 // SpaceBits returns ceil(log2 space): the number of bits needed to store
 // one state drawn from a space of the given size.
 func SpaceBits(space uint64) int {

@@ -259,3 +259,57 @@ func TestPowSpace(t *testing.T) {
 		t.Error("PowSpace overflow not detected")
 	}
 }
+
+func TestStateWordRoundTrip(t *testing.T) {
+	for _, tt := range []struct {
+		v, space uint64
+	}{
+		{0, 1}, {0, 64800}, {64799, 64800}, {1 << 61, 1 << 62},
+	} {
+		b, err := AppendStateWord(nil, tt.v, tt.space)
+		if err != nil {
+			t.Fatalf("AppendStateWord(%d, %d): %v", tt.v, tt.space, err)
+		}
+		if len(b) != StateWordSize {
+			t.Fatalf("encoded %d bytes, want %d", len(b), StateWordSize)
+		}
+		got, err := DecodeStateWord(b, tt.space)
+		if err != nil || got != tt.v {
+			t.Fatalf("DecodeStateWord = %d, %v; want %d", got, err, tt.v)
+		}
+	}
+}
+
+func TestStateWordErrors(t *testing.T) {
+	if _, err := AppendStateWord(nil, 5, 5); err == nil {
+		t.Error("AppendStateWord accepted an out-of-space value")
+	}
+	if _, err := AppendStateWord(nil, 0, 0); err == nil {
+		t.Error("AppendStateWord accepted a zero-sized space")
+	}
+	if _, err := DecodeStateWord([]byte{1, 2, 3}, 10); !errors.Is(err, ErrShortStateWord) {
+		t.Errorf("truncated decode: got %v, want ErrShortStateWord", err)
+	}
+	if _, err := DecodeStateWord(make([]byte, 8), 0); err == nil {
+		t.Error("DecodeStateWord accepted a zero-sized space")
+	}
+	big := []byte{0, 0, 0, 0, 0, 0, 0, 9}
+	if _, err := DecodeStateWord(big, 9); err == nil {
+		t.Error("DecodeStateWord accepted a word equal to the space size")
+	}
+}
+
+func TestCodecStateMethods(t *testing.T) {
+	cdc := MustNew(6, 5)
+	b, err := cdc.AppendState(nil, 29)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := cdc.DecodeState(b)
+	if err != nil || v != 29 {
+		t.Fatalf("DecodeState = %d, %v; want 29", v, err)
+	}
+	if _, err := cdc.AppendState(nil, 30); err == nil {
+		t.Error("AppendState accepted a value outside the codec space")
+	}
+}

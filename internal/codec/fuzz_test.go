@@ -2,6 +2,56 @@ package codec
 
 import "testing"
 
+// FuzzCodecDecode fuzzes the untrusted wire-decode path: arbitrary,
+// truncated or corrupted bytes fed to DecodeStateWord must either
+// return a loud error or a word the codec can Unpack into in-range
+// fields — and must never panic. In-space words must round-trip
+// byte-exactly through AppendStateWord.
+func FuzzCodecDecode(f *testing.F) {
+	f.Add([]byte{}, uint64(1))
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0}, uint64(64800))
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF}, uint64(64800))
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0}, uint64(7)) // one byte short
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 5, 9}, uint64(6))
+	f.Fuzz(func(t *testing.T, b []byte, space uint64) {
+		v, err := DecodeStateWord(b, space)
+		switch {
+		case len(b) < StateWordSize:
+			if err == nil {
+				t.Fatalf("DecodeStateWord accepted %d of %d bytes", len(b), StateWordSize)
+			}
+		case space == 0:
+			if err == nil {
+				t.Fatal("DecodeStateWord accepted a zero-sized space")
+			}
+		case err == nil:
+			if v >= space {
+				t.Fatalf("DecodeStateWord returned %d outside space %d", v, space)
+			}
+			// An accepted word re-encodes to the exact bytes it came from.
+			enc, encErr := AppendStateWord(nil, v, space)
+			if encErr != nil {
+				t.Fatalf("re-encoding accepted word %d: %v", v, encErr)
+			}
+			for i := range enc {
+				if enc[i] != b[i] {
+					t.Fatalf("round trip changed byte %d: % x -> % x", i, b[:StateWordSize], enc)
+				}
+			}
+			// The codec layer must then unpack it into in-range fields.
+			if cdc, cdcErr := New(space); cdcErr == nil {
+				for i, x := range cdc.Unpack(v, nil) {
+					if x >= cdc.Radix(i) {
+						t.Fatalf("Unpack(%d): field %d = %d out of range", v, i, x)
+					}
+				}
+			}
+		}
+		// Out-of-space words are the forge case: the error is loud, not a
+		// silent reduction, and never a panic (checked implicitly).
+	})
+}
+
 // FuzzPackUnpack fuzzes the mixed-radix round trip: any in-range tuple
 // must survive Pack/Unpack, and any word — in range or not — must
 // Unpack into in-range fields without panicking.

@@ -1,0 +1,35 @@
+package live
+
+import "testing"
+
+// FuzzDecodeFrame fuzzes the transport's untrusted receive path:
+// arbitrary bytes — including truncations, bit-flips and resealed
+// forgeries of authentic frames — must decode to either a loud error or
+// fully validated (sender, round, state) claims, and must never panic.
+// This is the same contract the chaos injector's corrupt kind exercises
+// online; the fuzzer explores the byte space far beyond it.
+func FuzzDecodeFrame(f *testing.F) {
+	good := appendFrame(nil, 3, 42, 555, 64800)
+	f.Add(good, 8, uint64(64800))
+	f.Add(good[:frameSize-3], 8, uint64(64800))
+	f.Add([]byte{}, 4, uint64(1))
+	f.Add([]byte{frameMagic, frameVersion}, 4, uint64(16))
+	forged := append([]byte(nil), good...)
+	resealFrame(forged, 64799)
+	f.Add(forged, 8, uint64(64800))
+	f.Fuzz(func(t *testing.T, b []byte, n int, space uint64) {
+		sender, _, state, err := decodeFrame(b, n, space)
+		if err != nil {
+			return
+		}
+		if n <= 0 || space == 0 {
+			t.Fatalf("decodeFrame accepted a frame for n=%d space=%d", n, space)
+		}
+		if sender < 0 || sender >= n {
+			t.Fatalf("accepted sender %d outside [0,%d)", sender, n)
+		}
+		if state >= space {
+			t.Fatalf("accepted state %d outside space %d", state, space)
+		}
+	})
+}

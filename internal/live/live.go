@@ -1,0 +1,450 @@
+// Package live runs synchronous counting algorithms as an actual
+// concurrent service: every node is a goroutine executing an unmodified
+// registry algorithm, exchanging codec-encoded state frames over an
+// in-process transport, with a synchroniser layer that reconstructs the
+// paper's round abstraction from per-round barriers with timeouts — a
+// node that misses a deadline is counted faulty for that round and the
+// run degrades gracefully instead of stalling.
+//
+// On top of the runtime sits a deterministic seeded chaos injector
+// (crash/restart, drop/duplicate/corrupt/delay, stragglers, partitions;
+// see Schedule) whose fault timeline replays byte-identically from a
+// seed, and a lock-free read side (ReadCell) serving counter reads
+// concurrently without ever blocking the protocol loop. Recovery
+// latency — rounds from a burst's last actually-injected fault to
+// re-confirmed correct counting — is measured online and checked
+// against the stack's declared stabilisation bound, which is what turns
+// the repository's simulated lockstep artefact into a deployable
+// self-stabilising clock service with a testable contract.
+package live
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/synchcount/synchcount/internal/alg"
+)
+
+// DefaultRoundTimeout is the per-barrier deadline when Config leaves it
+// zero: generous against scheduler noise, tight enough that a genuinely
+// dead node costs one timeout rather than a hang.
+const DefaultRoundTimeout = time.Second
+
+// DefaultWindowFor mirrors the simulator's confirmation window: two
+// full counter cycles plus slack, so accidental agreement is never
+// mistaken for stabilisation.
+func DefaultWindowFor(c int) uint64 { return uint64(2*c + 16) }
+
+// Config describes one live run.
+type Config struct {
+	// Alg is the algorithm under test, built by internal/registry or
+	// any other constructor; it must follow the alg.Algorithm contract
+	// (Step safe for concurrent use, no receiver mutation).
+	Alg alg.Algorithm
+
+	// Seed drives all randomness: node initial/restart states, per-node
+	// coins of randomised algorithms, and the chaos link decisions via
+	// Schedule.Seed (conventionally the same value).
+	Seed int64
+
+	// Rounds is the scripted horizon. Zero takes Schedule.Rounds; both
+	// zero is an error.
+	Rounds uint64
+
+	// Window is the confirmation window (consecutive correct counting
+	// rounds before declaring (re-)stabilisation). Zero takes
+	// DefaultWindowFor(Alg.C()).
+	Window uint64
+
+	// RoundTimeout is the per-barrier deadline. Zero takes
+	// DefaultRoundTimeout. A healthy in-process run never hits it, so
+	// results stay deterministic; it exists to cut stragglers loose.
+	RoundTimeout time.Duration
+
+	// Schedule is the chaos timeline; nil runs fault-free.
+	Schedule *Schedule
+
+	// WallBudget, when positive, stops the run once the wall clock is
+	// spent (reported via Report.BudgetExhausted, not an error).
+	WallBudget time.Duration
+
+	// OnRound, when non-nil, observes every synchronised round: the
+	// agreement verdict over on-time live nodes and how many made the
+	// barrier. Used by tests; keep it fast.
+	OnRound func(round uint64, agree bool, common int, onTime int)
+}
+
+// Runtime is a live network: n node goroutines, a router applying the
+// chaos schedule, and the synchroniser driving per-round barriers.
+type Runtime struct {
+	cfg     Config
+	n       int
+	space   uint64
+	timeout time.Duration
+	window  uint64
+	horizon uint64
+
+	cells []ReadCell
+
+	// Shared with node goroutines.
+	sendCh       chan sendMsg
+	doneCh       chan doneMsg
+	wg           sync.WaitGroup
+	decodeErrors atomic.Uint64
+	staleBatches atomic.Uint64
+
+	running atomic.Bool
+}
+
+// New validates the configuration and prepares a runtime. Run may be
+// called once.
+func New(cfg Config) (*Runtime, error) {
+	if cfg.Alg == nil {
+		return nil, errors.New("live: nil algorithm")
+	}
+	n := cfg.Alg.N()
+	if n < 2 {
+		return nil, fmt.Errorf("live: a live network needs at least 2 nodes, the algorithm runs on %d", n)
+	}
+	if cfg.Alg.C() < 2 {
+		return nil, fmt.Errorf("live: counter modulus %d < 2", cfg.Alg.C())
+	}
+	horizon := cfg.Rounds
+	if cfg.Schedule != nil {
+		if err := cfg.Schedule.Validate(); err != nil {
+			return nil, err
+		}
+		if cfg.Schedule.N != n {
+			return nil, fmt.Errorf("live: schedule is for n = %d nodes, algorithm runs on %d", cfg.Schedule.N, n)
+		}
+		if horizon == 0 {
+			horizon = cfg.Schedule.Rounds
+		}
+	}
+	if horizon == 0 {
+		return nil, errors.New("live: no horizon: set Config.Rounds or attach a Schedule")
+	}
+	timeout := cfg.RoundTimeout
+	if timeout <= 0 {
+		timeout = DefaultRoundTimeout
+	}
+	window := cfg.Window
+	if window == 0 {
+		window = DefaultWindowFor(cfg.Alg.C())
+	}
+	return &Runtime{
+		cfg:     cfg,
+		n:       n,
+		space:   cfg.Alg.StateSpace(),
+		timeout: timeout,
+		window:  window,
+		horizon: horizon,
+		cells:   make([]ReadCell, n),
+		sendCh:  make(chan sendMsg, 4*n),
+		doneCh:  make(chan doneMsg, 4*n),
+	}, nil
+}
+
+// Read serves node's current (round, counter value) from its lock-free
+// read cell. It is safe to call from any goroutine at any time,
+// including while Run is executing, and never blocks the protocol loop.
+func (rt *Runtime) Read(node int) (round uint64, value int, ok bool) {
+	if node < 0 || node >= rt.n {
+		return 0, 0, false
+	}
+	return rt.cells[node].Read()
+}
+
+// N returns the network size.
+func (rt *Runtime) N() int { return rt.n }
+
+// heldFrame is a delayed frame awaiting its delivery round.
+type heldFrame struct {
+	to    int
+	frame []byte
+}
+
+// Run drives the network to the configured horizon and returns the
+// measured report. On a synchroniser abort (every live node missing a
+// barrier, or no live nodes left) the partial report is returned
+// alongside the error. Run may be called once per Runtime.
+func (rt *Runtime) Run(ctx context.Context) (*Report, error) {
+	if !rt.running.CompareAndSwap(false, true) {
+		return nil, errors.New("live: Run already called on this runtime")
+	}
+	sched := rt.cfg.Schedule
+	rep := &Report{}
+	track := newTracker(rt.cfg.Alg.C(), rt.window)
+
+	handles := make([]*nodeHandle, rt.n)
+	for i := range handles {
+		handles[i] = rt.spawn(i, 0)
+	}
+	defer func() {
+		for _, h := range handles {
+			if h != nil {
+				close(h.quit)
+			}
+		}
+		rt.wg.Wait()
+		rep.DecodeErrors = rt.decodeErrors.Load()
+		rep.StaleBatches = rt.staleBatches.Load()
+	}()
+
+	var (
+		gotSend  = make([]*sendMsg, rt.n)
+		stallFor = make([]time.Duration, rt.n)
+		batches  = make([][][]byte, rt.n)
+		gotDone  = make([]bool, rt.n)
+		held     = map[uint64][]heldFrame{}
+		windows  []*Window
+	)
+
+	start := time.Now()
+	finish := func() *Report {
+		track.finish()
+		rep.Recoveries = track.recoveries
+		rep.Stabilised = track.firstConfirmed
+		rep.FirstStabilised = track.firstStable
+		rep.Violations = track.violations
+		rep.Elapsed = time.Since(start)
+		if s := rep.Elapsed.Seconds(); s > 0 {
+			rep.RoundsPerSec = float64(rep.Rounds) / s
+		}
+		return rep
+	}
+
+	for round := uint64(0); round < rt.horizon; round++ {
+		if err := ctx.Err(); err != nil {
+			return finish(), err
+		}
+		if rt.cfg.WallBudget > 0 && time.Since(start) >= rt.cfg.WallBudget {
+			rep.BudgetExhausted = true
+			break
+		}
+
+		// Node-level chaos fires at the round boundary.
+		if sched != nil {
+			for _, ev := range sched.eventsAt(round) {
+				switch ev.Kind {
+				case EventCrash:
+					if h := handles[ev.Node]; h != nil {
+						close(h.quit)
+						handles[ev.Node] = nil
+						rep.Crashes++
+						track.fault(round, ev.Burst)
+					}
+				case EventRestart:
+					if handles[ev.Node] == nil {
+						handles[ev.Node] = rt.spawn(ev.Node, int(rep.Restarts)+1)
+						rep.Restarts++
+						track.fault(round, ev.Burst)
+					}
+				case EventStall:
+					if handles[ev.Node] != nil {
+						stallFor[ev.Node] = ev.Stall
+						rep.Stalls++
+						track.fault(round, ev.Burst)
+					}
+				}
+			}
+		}
+		liveCount := 0
+		for _, h := range handles {
+			if h != nil {
+				liveCount++
+			}
+		}
+		if liveCount == 0 {
+			return finish(), fmt.Errorf("live: round %d: no live nodes remain — the schedule crashed the whole network", round)
+		}
+
+		// Barrier 1: release the round and collect broadcasts.
+		expected := 0
+		for i, h := range handles {
+			if h == nil {
+				continue
+			}
+			msg := startMsg{round: round, stall: stallFor[i]}
+			stallFor[i] = 0
+			select {
+			case h.start <- msg:
+				expected++
+			default:
+				rep.ControlDrops++
+			}
+		}
+		if expected == 0 {
+			return finish(), fmt.Errorf("live: round %d: all %d live nodes have fallen more than %d rounds behind the synchroniser", round, liveCount, ctrlDepth)
+		}
+		for i := range gotSend {
+			gotSend[i] = nil
+		}
+		onTime := 0
+		timer := time.NewTimer(rt.timeout)
+	collectSends:
+		for onTime < expected {
+			select {
+			case m := <-rt.sendCh:
+				h := handles[m.node]
+				if h == nil || m.inc != h.inc || m.round != round || gotSend[m.node] != nil {
+					rep.StaleMessages++
+					continue
+				}
+				mm := m
+				gotSend[m.node] = &mm
+				onTime++
+			case <-timer.C:
+				break collectSends
+			case <-ctx.Done():
+				timer.Stop()
+				return finish(), ctx.Err()
+			}
+		}
+		timer.Stop()
+		rep.TimedOutRounds += uint64(expected - onTime)
+		if onTime == 0 {
+			return finish(), fmt.Errorf("live: round %d: all %d live nodes missed the %v round deadline — aborting the run instead of stalling the synchroniser", round, expected, rt.timeout)
+		}
+
+		// Observe the start-of-round outputs of the on-time live nodes.
+		agree := true
+		common := -1
+		for i := 0; i < rt.n; i++ {
+			if gotSend[i] == nil {
+				continue
+			}
+			if common == -1 {
+				common = gotSend[i].out
+			} else if gotSend[i].out != common {
+				agree = false
+			}
+		}
+		track.observe(round, agree, common)
+		if rt.cfg.OnRound != nil {
+			rt.cfg.OnRound(round, agree, common, onTime)
+		}
+		rep.Rounds = round + 1
+
+		// Route the broadcasts through the chaos layer. Senders are
+		// walked in id order and link decisions are pure hashes of
+		// (seed, round, link), so delivery — and therefore the whole
+		// protocol evolution — is deterministic per seed.
+		for v := range batches {
+			batches[v] = batches[v][:0]
+		}
+		windows = windows[:0]
+		var seed int64
+		if sched != nil {
+			windows = sched.windowsAt(round, windows)
+			seed = sched.Seed
+		}
+		interferedBurst := -1
+		for s := 0; s < rt.n; s++ {
+			if gotSend[s] == nil {
+				continue
+			}
+			fr := gotSend[s].frame
+			for v := 0; v < rt.n; v++ {
+				if v == s || handles[v] == nil {
+					continue
+				}
+				out, delivered := fr, true
+				for _, w := range windows {
+					if w.Group != nil {
+						if w.Group[s] != w.Group[v] {
+							rep.Suppressed++
+							interferedBurst = w.Burst
+							delivered = false
+						}
+						continue
+					}
+					if w.Drop > 0 && chaosHash(seed, round, s, v, saltDrop) < w.Drop {
+						rep.Dropped++
+						interferedBurst = w.Burst
+						delivered = false
+						continue
+					}
+					if w.Corrupt > 0 && chaosHash(seed, round, s, v, saltCorrupt) < w.Corrupt {
+						out = corruptFrame(out, chaosWord(seed, round, s, v), rt.space)
+						rep.Corrupted++
+						interferedBurst = w.Burst
+					}
+					if w.Delay > 0 && chaosHash(seed, round, s, v, saltDelay) < w.Delay {
+						held[round+w.DelayBy] = append(held[round+w.DelayBy], heldFrame{to: v, frame: out})
+						rep.Delayed++
+						interferedBurst = w.Burst
+						delivered = false
+						continue
+					}
+					if w.Dup > 0 && chaosHash(seed, round, s, v, saltDup) < w.Dup {
+						batches[v] = append(batches[v], out)
+						rep.Duplicated++
+						interferedBurst = w.Burst
+					}
+				}
+				if delivered {
+					batches[v] = append(batches[v], out)
+				}
+			}
+		}
+		if late := held[round]; late != nil {
+			for _, hf := range late {
+				if handles[hf.to] != nil {
+					batches[hf.to] = append(batches[hf.to], hf.frame)
+				}
+			}
+			delete(held, round)
+		}
+		if interferedBurst >= 0 {
+			track.fault(round, interferedBurst)
+		}
+
+		// Barrier 2: deliver batches (the end-of-round marker) and wait
+		// for the steps to land.
+		delivered := 0
+		for v, h := range handles {
+			if h == nil {
+				continue
+			}
+			frames := make([][]byte, len(batches[v]))
+			copy(frames, batches[v])
+			select {
+			case h.batch <- batchMsg{round: round, frames: frames}:
+				delivered++
+				gotDone[v] = false
+			case <-h.quit:
+			default:
+				rep.ControlDrops++
+				gotDone[v] = true // nothing to wait for
+			}
+		}
+		doneCount := 0
+		timer = time.NewTimer(rt.timeout) //nolint:staticcheck // fresh timer per phase
+	collectDones:
+		for doneCount < delivered {
+			select {
+			case m := <-rt.doneCh:
+				h := handles[m.node]
+				if h == nil || m.inc != h.inc || m.round != round || gotDone[m.node] {
+					rep.StaleMessages++
+					continue
+				}
+				gotDone[m.node] = true
+				doneCount++
+			case <-timer.C:
+				break collectDones
+			case <-ctx.Done():
+				timer.Stop()
+				return finish(), ctx.Err()
+			}
+		}
+		timer.Stop()
+		rep.TimedOutRounds += uint64(delivered - doneCount)
+	}
+	return finish(), nil
+}

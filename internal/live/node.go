@@ -1,0 +1,177 @@
+package live
+
+import (
+	"math/rand"
+	"time"
+
+	"github.com/synchcount/synchcount/internal/alg"
+)
+
+// Control-plane messages between the synchroniser and a node goroutine.
+type startMsg struct {
+	round uint64
+	stall time.Duration
+}
+
+type batchMsg struct {
+	round  uint64
+	frames [][]byte
+}
+
+type sendMsg struct {
+	node, inc int
+	round     uint64
+	out       int
+	frame     []byte
+}
+
+type doneMsg struct {
+	node, inc int
+	round     uint64
+}
+
+// nodeHandle is the synchroniser's view of one node incarnation. The
+// control channels are buffered and the synchroniser sends on them with
+// a non-blocking select, so a lagging node can never stall the round
+// loop — it drops off the barrier instead (graceful degradation).
+type nodeHandle struct {
+	id, inc int
+	start   chan startMsg
+	batch   chan batchMsg
+	quit    chan struct{}
+}
+
+// ctrlDepth is the control-channel backlog a straggler may accumulate
+// before the synchroniser starts dropping its handoffs.
+const ctrlDepth = 8
+
+// nodeSeed derives the RNG seed of one node incarnation from the run
+// seed via SplitMix64, so crash/restart cycles draw fresh — but
+// reproducible — arbitrary states.
+func nodeSeed(seed int64, node, inc int) int64 {
+	z := uint64(seed) + uint64(node+1)*0x9e3779b97f4a7c15 + uint64(inc)*0xd1342543de82ef95
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return int64(z >> 1)
+}
+
+// nodeLoop is one live node: an unmodified registry algorithm run as a
+// goroutine. Per round it publishes its output to the lock-free read
+// cell, broadcasts its codec-encoded state through the router, waits
+// for its (chaos-filtered) round batch, reduces the received frames
+// into the full receive vector — peers it has not heard from this round
+// are stepped on their last authenticated state — and applies the
+// transition function.
+//
+// The loop owns no shared memory: everything it touches is either
+// node-local (state, lastSeen, rng), immutable (the algorithm, per the
+// alg.Algorithm concurrency contract), a channel, or an atomic counter.
+func (rt *Runtime) nodeLoop(h *nodeHandle, state alg.State, rng *rand.Rand, lastSeen []alg.State, lastRound []uint64, heard []bool) {
+	defer rt.wg.Done()
+	n, a, space := rt.n, rt.cfg.Alg, rt.space
+	recv := make([]alg.State, n)
+	var buf []byte
+	for {
+		var sm startMsg
+		select {
+		case sm = <-h.start:
+		case <-h.quit:
+			return
+		}
+		// Collapse any backlog: a straggler rejoins at the newest round
+		// instead of replaying barriers it already missed.
+	drain:
+		for {
+			select {
+			case sm = <-h.start:
+			default:
+				break drain
+			}
+		}
+		if sm.stall > 0 {
+			t := time.NewTimer(sm.stall)
+			select {
+			case <-t.C:
+			case <-h.quit:
+				t.Stop()
+				return
+			}
+		}
+
+		out := a.Output(h.id, state)
+		rt.cells[h.id].publish(sm.round, out)
+
+		buf = appendFrame(buf[:0], h.id, sm.round, state, space)
+		frame := append([]byte(nil), buf...) // the router may hold it past this round
+		select {
+		case rt.sendCh <- sendMsg{node: h.id, inc: h.inc, round: sm.round, out: out, frame: frame}:
+		case <-h.quit:
+			return
+		}
+
+		var bm batchMsg
+		for {
+			select {
+			case bm = <-h.batch:
+			case <-h.quit:
+				return
+			}
+			if bm.round >= sm.round {
+				break
+			}
+			rt.staleBatches.Add(1)
+		}
+		for _, fr := range bm.frames {
+			from, rnd, st, err := decodeFrame(fr, n, space)
+			if err != nil {
+				// Untrusted bytes that fail validation are loss, not a
+				// crash: count loudly and step on the last good state.
+				rt.decodeErrors.Add(1)
+				continue
+			}
+			if from == h.id {
+				continue
+			}
+			if !heard[from] || rnd >= lastRound[from] {
+				heard[from] = true
+				lastRound[from] = rnd
+				lastSeen[from] = st
+			}
+		}
+		copy(recv, lastSeen)
+		recv[h.id] = state
+		state = a.Step(h.id, recv, rng)
+
+		select {
+		case rt.doneCh <- doneMsg{node: h.id, inc: h.inc, round: bm.round}:
+		case <-h.quit:
+			return
+		}
+	}
+}
+
+// spawn starts incarnation inc of a node. Its state and its view of
+// every peer are drawn arbitrarily from the incarnation seed: a restart
+// is exactly the transient fault — arbitrary memory, correct behaviour
+// from now on — that the self-stabilisation bound quantifies over.
+func (rt *Runtime) spawn(id, inc int) *nodeHandle {
+	rng := rand.New(rand.NewSource(nodeSeed(rt.cfg.Seed, id, inc)))
+	state := alg.UniformState(rng, rt.space)
+	lastSeen := make([]alg.State, rt.n)
+	lastRound := make([]uint64, rt.n)
+	heard := make([]bool, rt.n)
+	for i := range lastSeen {
+		lastSeen[i] = alg.UniformState(rng, rt.space)
+	}
+	h := &nodeHandle{
+		id:    id,
+		inc:   inc,
+		start: make(chan startMsg, ctrlDepth),
+		batch: make(chan batchMsg, ctrlDepth),
+		quit:  make(chan struct{}),
+	}
+	rt.wg.Add(1)
+	go rt.nodeLoop(h, state, rng, lastSeen, lastRound, heard)
+	return h
+}

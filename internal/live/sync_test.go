@@ -1,0 +1,137 @@
+package live
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+)
+
+// A straggler that sleeps through several barriers must be counted
+// faulty for those rounds and rejoin cleanly at the newest round once
+// it wakes — no stall, no stale-state confusion, full quorum restored.
+func TestStragglerTimesOutAndRejoins(t *testing.T) {
+	a := buildAlg(t, "maxstep", 4, 0, 4)
+	sched := &Schedule{
+		Seed: 5, N: 4, Rounds: 80, Bursts: 1,
+		Events: []Event{{Round: 10, Burst: 0, Kind: EventStall, Node: 2, Stall: 120 * time.Millisecond}},
+	}
+	var lastOnTime int
+	rt, err := New(Config{
+		Alg:          a,
+		Seed:         5,
+		Schedule:     sched,
+		RoundTimeout: 25 * time.Millisecond,
+		OnRound:      func(round uint64, agree bool, common, onTime int) { lastOnTime = onTime },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := rt.Run(context.Background())
+	if err != nil {
+		t.Fatalf("a single straggler stalled the run: %v", err)
+	}
+	if rep.Rounds != 80 {
+		t.Fatalf("ran %d rounds, want the full 80", rep.Rounds)
+	}
+	if rep.Stalls != 1 {
+		t.Fatalf("%d stalls injected, want 1", rep.Stalls)
+	}
+	if rep.TimedOutRounds == 0 {
+		t.Fatal("the sleeping node never missed a barrier")
+	}
+	if lastOnTime != 4 {
+		t.Fatalf("last round had %d/4 nodes on time — the straggler did not rejoin", lastOnTime)
+	}
+	if rep.Violations != 0 {
+		t.Fatalf("%d violations — the rejoin broke counting without a fault charged", rep.Violations)
+	}
+	if len(rep.Recoveries) != 1 || !rep.Recoveries[0].Confirmed {
+		t.Fatalf("stall burst recovery not confirmed: %+v", rep.Recoveries)
+	}
+	if round, _, ok := rt.Read(2); !ok || round != 79 {
+		t.Fatalf("straggler read cell stuck at round %d (ok=%v), want 79", round, ok)
+	}
+}
+
+// When every live node misses a barrier the synchroniser must abort
+// with a descriptive error — promptly, not deadlock waiting on a
+// quorum that cannot form.
+func TestFullQuorumTimeoutAborts(t *testing.T) {
+	a := buildAlg(t, "maxstep", 3, 0, 4)
+	events := make([]Event, 0, 3)
+	for i := 0; i < 3; i++ {
+		events = append(events, Event{Round: 5, Burst: 0, Kind: EventStall, Node: i, Stall: 2 * time.Second})
+	}
+	sched := &Schedule{Seed: 1, N: 3, Rounds: 50, Bursts: 1, Events: events}
+	rt, err := New(Config{Alg: a, Seed: 1, Schedule: sched, RoundTimeout: 20 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type result struct {
+		rep *Report
+		err error
+	}
+	got := make(chan result, 1)
+	go func() {
+		rep, err := rt.Run(context.Background())
+		got <- result{rep, err}
+	}()
+	select {
+	case r := <-got:
+		if r.err == nil {
+			t.Fatal("run with a fully stalled quorum returned no error")
+		}
+		if !strings.Contains(r.err.Error(), "missed the") || !strings.Contains(r.err.Error(), "deadline") {
+			t.Fatalf("abort error %q does not describe the quorum timeout", r.err)
+		}
+		if r.rep == nil || r.rep.Rounds != 5 {
+			t.Fatalf("partial report covers %+v rounds, want the 5 completed before the abort", r.rep)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("synchroniser deadlocked instead of aborting")
+	}
+}
+
+// A crashed node's revival must rejoin the protocol cleanly: arbitrary
+// restart state, then full quorum and confirmed recovery.
+func TestCrashedNodeRevivesCleanly(t *testing.T) {
+	a := buildAlg(t, "maxstep", 4, 0, 4)
+	sched := &Schedule{
+		Seed: 11, N: 4, Rounds: 80, Bursts: 1,
+		Events: []Event{
+			{Round: 8, Burst: 0, Kind: EventCrash, Node: 1},
+			{Round: 12, Burst: 0, Kind: EventRestart, Node: 1},
+		},
+	}
+	var lastOnTime int
+	rt, err := New(Config{
+		Alg:      a,
+		Seed:     11,
+		Schedule: sched,
+		OnRound:  func(round uint64, agree bool, common, onTime int) { lastOnTime = onTime },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := rt.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Crashes != 1 || rep.Restarts != 1 {
+		t.Fatalf("%d crashes / %d restarts, want 1 / 1", rep.Crashes, rep.Restarts)
+	}
+	if lastOnTime != 4 {
+		t.Fatalf("last round had %d/4 nodes on time — the revived node did not rejoin", lastOnTime)
+	}
+	if len(rep.Recoveries) != 1 || !rep.Recoveries[0].Confirmed {
+		t.Fatalf("crash/restart recovery not confirmed: %+v", rep.Recoveries)
+	}
+	if rep.Violations != 0 {
+		t.Fatalf("%d violations after the revival", rep.Violations)
+	}
+	if round, _, ok := rt.Read(1); !ok || round != 79 {
+		t.Fatalf("revived node's read cell stuck at round %d (ok=%v), want 79", round, ok)
+	}
+}

@@ -1,0 +1,95 @@
+package live
+
+import (
+	"fmt"
+	"hash/crc32"
+
+	"github.com/synchcount/synchcount/internal/codec"
+)
+
+// Frame layout. Every state message travels as one fixed-size frame so
+// that truncation is detectable by length alone and a corrupted byte
+// anywhere is caught by the trailing checksum:
+//
+//	offset 0      magic (frameMagic)
+//	offset 1      version (frameVersion)
+//	offset 2:6    sender id, uint32 big-endian
+//	offset 6:14   round, uint64 big-endian
+//	offset 14:22  state word (codec.AppendStateWord)
+//	offset 22:26  CRC-32 (IEEE) of bytes [0:22)
+const (
+	frameMagic   = 0xC7
+	frameVersion = 1
+	frameSize    = 22 + 4
+)
+
+// FrameBits is the wire size of one state broadcast in bits — the
+// live-runtime per-message cost reported into harness observations.
+const FrameBits = frameSize * 8
+
+// appendFrame appends the wire frame for one broadcast: sender's dense
+// state at the given round. The state must be in [0, space) — honest
+// nodes always hold an in-space word, so a violation is a program
+// error, reported by panic like any other broken invariant on the send
+// side (the receive side, which faces untrusted bytes, never panics).
+func appendFrame(dst []byte, sender int, round uint64, state, space uint64) []byte {
+	start := len(dst)
+	dst = append(dst,
+		frameMagic, frameVersion,
+		byte(uint32(sender)>>24), byte(uint32(sender)>>16), byte(uint32(sender)>>8), byte(uint32(sender)),
+		byte(round>>56), byte(round>>48), byte(round>>40), byte(round>>32),
+		byte(round>>24), byte(round>>16), byte(round>>8), byte(round),
+	)
+	var err error
+	dst, err = codec.AppendStateWord(dst, state, space)
+	if err != nil {
+		panic(fmt.Sprintf("live: encoding own state: %v", err))
+	}
+	sum := crc32.ChecksumIEEE(dst[start : start+22])
+	return append(dst, byte(sum>>24), byte(sum>>16), byte(sum>>8), byte(sum))
+}
+
+// resealFrame overwrites the state word of a full frame in place and
+// recomputes its checksum — the chaos injector's "smart" corruption,
+// forging an authentic frame carrying an arbitrary state. The state is
+// reduced by the caller to be in space, so the forged frame passes the
+// receiver's validation and lands as a Byzantine value.
+func resealFrame(fr []byte, state uint64) {
+	for i := 0; i < 8; i++ {
+		fr[14+i] = byte(state >> (56 - 8*i))
+	}
+	sum := crc32.ChecksumIEEE(fr[:22])
+	fr[22], fr[23], fr[24], fr[25] = byte(sum>>24), byte(sum>>16), byte(sum>>8), byte(sum)
+}
+
+// decodeFrame parses and validates one received frame. The input is
+// untrusted — the chaos injector forwards truncated, bit-flipped and
+// forged frames on purpose — so every failure mode returns a loud
+// error and none panics: a frame that does not authenticate is treated
+// by the caller as lost, which the protocol already tolerates.
+func decodeFrame(b []byte, n int, space uint64) (sender int, round, state uint64, err error) {
+	if len(b) != frameSize {
+		return 0, 0, 0, fmt.Errorf("live: frame is %d bytes, want %d", len(b), frameSize)
+	}
+	if b[0] != frameMagic {
+		return 0, 0, 0, fmt.Errorf("live: bad frame magic 0x%02x", b[0])
+	}
+	if b[1] != frameVersion {
+		return 0, 0, 0, fmt.Errorf("live: unsupported frame version %d", b[1])
+	}
+	sum := uint32(b[22])<<24 | uint32(b[23])<<16 | uint32(b[24])<<8 | uint32(b[25])
+	if got := crc32.ChecksumIEEE(b[:22]); got != sum {
+		return 0, 0, 0, fmt.Errorf("live: frame checksum mismatch (got %08x, frame says %08x)", got, sum)
+	}
+	s := uint32(b[2])<<24 | uint32(b[3])<<16 | uint32(b[4])<<8 | uint32(b[5])
+	if int(s) >= n {
+		return 0, 0, 0, fmt.Errorf("live: frame sender %d out of range [0,%d)", s, n)
+	}
+	round = uint64(b[6])<<56 | uint64(b[7])<<48 | uint64(b[8])<<40 | uint64(b[9])<<32 |
+		uint64(b[10])<<24 | uint64(b[11])<<16 | uint64(b[12])<<8 | uint64(b[13])
+	state, err = codec.DecodeStateWord(b[14:22], space)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	return int(s), round, state, nil
+}
