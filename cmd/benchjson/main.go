@@ -22,12 +22,17 @@
 //     (kind "bitslice": the scalar reference loop against the
 //     bit-sliced vote kernel)
 //
-//     go test -run '^$' -bench '^Benchmark(Kernel|FF|Pull|Bitslice)_' -benchmem \
-//     ./internal/sim ./internal/pull | benchjson -pr 7 -out BENCH_7.json
+//   - BenchmarkLive_Reference_<case> vs BenchmarkLive_Optimized_<case>
+//     (kind "live": the four-hop reference round engine against the
+//     batched arena engine in internal/live)
+//
+//     go test -run '^$' -bench '^Benchmark(Kernel|FF|Pull|Bitslice|Live)_' -benchmem \
+//     ./internal/sim ./internal/pull ./internal/live | benchjson -pr 10 -out BENCH_10.json
 //
 // With -min-speedup S (kernel pairs), -min-ff-speedup S (fastforward
-// pairs), -min-pull-speedup S (pull pairs) and -min-bitslice-speedup S
-// (bitslice pairs) it exits non-zero when any paired case speeds up
+// pairs), -min-pull-speedup S (pull pairs), -min-bitslice-speedup S
+// (bitslice pairs) and -min-live-speedup S (live pairs) it exits
+// non-zero when any paired case speeds up
 // by less than S× — the `make bench-smoke` CI job runs the benchmarks
 // at a reduced count and uses this to catch regressions without
 // flaking on absolute timings, since both sides of a pair run on the
@@ -109,11 +114,14 @@ const (
 	pullSpPrefix  = "BenchmarkPull_Sparse_"
 	bsRefPrefix   = "BenchmarkBitslice_Reference_"
 	bsSlPrefix    = "BenchmarkBitslice_Sliced_"
+	liveRefPrefix = "BenchmarkLive_Reference_"
+	liveOptPrefix = "BenchmarkLive_Optimized_"
 
 	kindKernel      = "kernel"
 	kindFastForward = "fastforward"
 	kindPull        = "pull"
 	kindBitslice    = "bitslice"
+	kindLive        = "live"
 )
 
 func main() {
@@ -123,6 +131,7 @@ func main() {
 	minFFSpeedup := flag.Float64("min-ff-speedup", 0, "fail unless every fast-forward Off/On pair speeds up at least this much")
 	minPullSpeedup := flag.Float64("min-pull-speedup", 0, "fail unless every pull Reference/Sparse pair speeds up at least this much")
 	minBitsliceSpeedup := flag.Float64("min-bitslice-speedup", 0, "fail unless every bitslice Reference/Sliced pair speeds up at least this much")
+	minLiveSpeedup := flag.Float64("min-live-speedup", 0, "fail unless every live Reference/Optimized pair speeds up at least this much")
 	baseline := flag.String("baseline", "", "previous BENCH_<k>.json artifact to diff this run against benchmark by benchmark")
 	flag.Parse()
 
@@ -182,6 +191,7 @@ func main() {
 	gate(kindFastForward, "-min-ff-speedup", *minFFSpeedup)
 	gate(kindPull, "-min-pull-speedup", *minPullSpeedup)
 	gate(kindBitslice, "-min-bitslice-speedup", *minBitsliceSpeedup)
+	gate(kindLive, "-min-live-speedup", *minLiveSpeedup)
 	for _, d := range report.BaselineDiffs {
 		status := ""
 		if *minSpeedup > 0 {
@@ -310,6 +320,7 @@ var pairings = []struct {
 	{kindFastForward, ffOffPrefix, ffOnPrefix},
 	{kindPull, pullRefPrefix, pullSpPrefix},
 	{kindBitslice, bsRefPrefix, bsSlPrefix},
+	{kindLive, liveRefPrefix, liveOptPrefix},
 }
 
 // pair matches the slow-side row of each pairing with its fast-side

@@ -82,21 +82,35 @@ BenchmarkPull_Reference_Gossip_n10000_k32-8 1  826244834 ns/op  12910075 ns/roun
 BenchmarkPull_Sparse_Gossip_n10000_k32-8    4  255457132 ns/op   3991517 ns/round
 BenchmarkBitslice_Reference_RandAgree_n64_f15-8 100  24000000 ns/op  11718 ns/round
 BenchmarkBitslice_Sliced_RandAgree_n64_f15-8    400   5400000 ns/op   2636 ns/round
+BenchmarkLive_Reference_FaultFree_n32-8          74  29599155 ns/op  115622 ns/round  7500577 B/op  26763 allocs/op
+BenchmarkLive_Optimized_FaultFree_n32-8         345   6799787 ns/op   26562 ns/round   267208 B/op    420 allocs/op
+BenchmarkLive_EndToEndRef_Ecount_n32-8           10 100000000 ns/op
+BenchmarkLive_EndToEndOpt_Ecount_n32-8           20  50000000 ns/op
 PASS
 `
 
-// TestPairKinds checks that kernel, fast-forward, pull and bitslice
-// pairs are matched under their own kinds and unpaired rows stay out.
+// TestPairKinds checks that kernel, fast-forward, pull, bitslice and
+// live pairs are matched under their own kinds and unpaired rows —
+// including the deliberately unpaired live end-to-end cells — stay out.
 func TestPairKinds(t *testing.T) {
 	report, err := parse(bufio.NewScanner(strings.NewReader(ffSample)))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(report.Comparisons) != 4 {
-		t.Fatalf("paired %d comparisons, want 4: %+v", len(report.Comparisons), report.Comparisons)
+	if len(report.Comparisons) != 5 {
+		t.Fatalf("paired %d comparisons, want 5: %+v", len(report.Comparisons), report.Comparisons)
 	}
 	kernel, ff, pl := report.Comparisons[0], report.Comparisons[1], report.Comparisons[2]
-	bs := report.Comparisons[3]
+	bs, lv := report.Comparisons[3], report.Comparisons[4]
+	if lv.Kind != "live" || lv.Case != "FaultFree_n32" {
+		t.Fatalf("live pair = %+v", lv)
+	}
+	if lv.Speedup < 4.3 || lv.Speedup > 4.4 {
+		t.Fatalf("live speedup = %f, want ~4.35", lv.Speedup)
+	}
+	if lv.RefNsPerRound != 115622 || lv.VecNsPerRound != 26562 {
+		t.Fatalf("live ns/round not carried: %+v", lv)
+	}
 	if bs.Kind != "bitslice" || bs.Case != "RandAgree_n64_f15" {
 		t.Fatalf("bitslice pair = %+v", bs)
 	}

@@ -12,6 +12,9 @@
 //	liverun -alg ecount -n 32 -f 3 -c 8 -seed 7 -bursts 3
 //	liverun -faults crash,loss,partition -bursts 2 -budget 30s -ndjson soak.ndjson
 //	liverun -seed 7 -timeline            # print the fault schedule and exit
+//	liverun -seeds 5 -ndjson sweep.ndjson  # 5 seeded soaks, one NDJSON stream
+//	liverun -engine reference            # drive the retained reference engine
+//	liverun -cpuprofile cpu.pprof        # pprof the soak's hot path
 package main
 
 import (
@@ -20,6 +23,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -44,6 +49,8 @@ type liveFlags struct {
 	algName                 string
 	n, f, c                 int
 	seed                    int64
+	seeds                   int
+	engine                  string
 	faults                  string
 	warmup, burstLen, gap   uint64
 	bursts, crashes         int
@@ -54,6 +61,7 @@ type liveFlags struct {
 	window                  int64
 	timeout                 time.Duration
 	budget                  time.Duration
+	cpuprofile, memprofile  string
 }
 
 // validateFlags rejects nonsensical soak parameters with descriptive
@@ -89,6 +97,15 @@ func validateFlags(fl *liveFlags) error {
 	if fl.budget < 0 {
 		return fmt.Errorf("-budget %v is negative: give 0 to run the full horizon", fl.budget)
 	}
+	if fl.engine != "reference" && fl.engine != "optimized" {
+		return fmt.Errorf("-engine %q: the round engine is reference or optimized", fl.engine)
+	}
+	if fl.seeds < 1 {
+		return fmt.Errorf("-seeds %d: a sweep needs at least one seed", fl.seeds)
+	}
+	if fl.cpuprofile != "" && fl.cpuprofile == fl.memprofile {
+		return fmt.Errorf("-cpuprofile and -memprofile both name %q: the two profiles would overwrite each other", fl.cpuprofile)
+	}
 	return nil
 }
 
@@ -99,6 +116,8 @@ func run() error {
 	flag.IntVar(&fl.f, "f", 3, "resilience the stack is built for")
 	flag.IntVar(&fl.c, "c", 8, "counter modulus")
 	flag.Int64Var(&fl.seed, "seed", 1, "run seed: node states, coins and the chaos timeline all derive from it")
+	flag.IntVar(&fl.seeds, "seeds", 1, "seeded soaks to run back to back (seeds seed..seed+K-1), all appended to one -ndjson stream")
+	flag.StringVar(&fl.engine, "engine", "optimized", "round engine: optimized | reference (identical seeded behaviour, different data path)")
 	flag.StringVar(&fl.faults, "faults", "crash,loss,partition", "comma-separated chaos kinds: crash | loss | corrupt | dup | delay | partition | stall")
 	flag.Uint64Var(&fl.warmup, "warmup", 0, "fault-free prefix rounds (0 = bound + window + 8)")
 	flag.IntVar(&fl.bursts, "bursts", 3, "fault bursts to inject (0 = fault-free soak)")
@@ -117,6 +136,8 @@ func run() error {
 	flag.DurationVar(&fl.budget, "budget", 0, "wall-clock budget (0 = run the full horizon)")
 	timeline := flag.Bool("timeline", false, "print the deterministic chaos timeline and exit")
 	ndjsonPath := flag.String("ndjson", "", "write harness trial records (one per fault burst) to this file for resultdb ingestion")
+	flag.StringVar(&fl.cpuprofile, "cpuprofile", "", "write a CPU profile covering the soak(s) to this file")
+	flag.StringVar(&fl.memprofile, "memprofile", "", "write a heap profile taken after the soak(s) to this file")
 	flag.Parse()
 
 	if flag.NArg() > 0 {
@@ -148,66 +169,115 @@ func run() error {
 		gap = auto
 	}
 
-	sched, err := live.NewSchedule(live.ChaosConfig{
-		Seed:        fl.seed,
-		N:           a.N(),
-		Kinds:       splitList(fl.faults),
-		Warmup:      warmup,
-		Bursts:      fl.bursts,
-		BurstLen:    fl.burstLen,
-		Gap:         gap,
-		Crashes:     fl.crashes,
-		LossRate:    fl.loss,
-		CorruptRate: fl.corrupt,
-		DupRate:     fl.dup,
-		DelayRate:   fl.del,
-		DelayBy:     fl.delayBy,
-		StallDur:    fl.stall,
-	})
-	if err != nil {
-		return err
+	makeSched := func(seed int64) (*live.Schedule, error) {
+		return live.NewSchedule(live.ChaosConfig{
+			Seed:        seed,
+			N:           a.N(),
+			Kinds:       splitList(fl.faults),
+			Warmup:      warmup,
+			Bursts:      fl.bursts,
+			BurstLen:    fl.burstLen,
+			Gap:         gap,
+			Crashes:     fl.crashes,
+			LossRate:    fl.loss,
+			CorruptRate: fl.corrupt,
+			DupRate:     fl.dup,
+			DelayRate:   fl.del,
+			DelayBy:     fl.delayBy,
+			StallDur:    fl.stall,
+		})
 	}
 	if *timeline {
+		sched, err := makeSched(fl.seed)
+		if err != nil {
+			return err
+		}
 		return sched.WriteTimeline(out)
 	}
 
-	rt, err := live.New(live.Config{
-		Alg:          a,
-		Seed:         fl.seed,
-		Rounds:       uint64(fl.rounds),
-		Window:       window,
-		RoundTimeout: fl.timeout,
-		Schedule:     sched,
-		WallBudget:   fl.budget,
-	})
-	if err != nil {
-		return err
+	if fl.cpuprofile != "" {
+		f, err := os.Create(fl.cpuprofile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
 	}
 
 	fmt.Fprintf(out, "stack       : %s (n=%d f=%d c=%d), declared bound T <= %d rounds, window %d\n",
 		fl.algName, a.N(), a.F(), a.C(), bound, window)
-	fmt.Fprintf(out, "chaos       : seed %d, kinds [%s], %d bursts x %d rounds, gap %d, horizon %d rounds\n",
-		fl.seed, fl.faults, fl.bursts, fl.burstLen, gap, sched.Rounds)
 
-	rep, runErr := rt.Run(context.Background())
-	printReport(rep)
-	if runErr != nil {
-		return runErr
+	// The sweep runs fl.seeds soaks on consecutive seeds; the common
+	// single-soak case is the K=1 sweep. Every soak's trials land in the
+	// same -ndjson stream.
+	var runs []soakRun
+	var verdict error
+	for k := 0; k < fl.seeds; k++ {
+		seed := fl.seed + int64(k)
+		sched, err := makeSched(seed)
+		if err != nil {
+			return err
+		}
+		rt, err := live.New(live.Config{
+			Alg:          a,
+			Seed:         seed,
+			Rounds:       uint64(fl.rounds),
+			Window:       window,
+			RoundTimeout: fl.timeout,
+			Schedule:     sched,
+			WallBudget:   fl.budget,
+			Reference:    fl.engine == "reference",
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "chaos       : seed %d, kinds [%s], %d bursts x %d rounds, gap %d, horizon %d rounds\n",
+			seed, fl.faults, fl.bursts, fl.burstLen, gap, sched.Rounds)
+
+		rep, runErr := rt.Run(context.Background())
+		printReport(rep)
+		if runErr != nil {
+			return runErr
+		}
+		v := rep.CheckRecovery(bound)
+		if v != nil {
+			fmt.Fprintf(out, "verdict     : FAIL — %v\n", v)
+			if verdict == nil {
+				verdict = v
+			}
+		} else {
+			fmt.Fprintf(out, "verdict     : PASS — every burst re-stabilised within the declared bound\n")
+		}
+		runs = append(runs, soakRun{seed: seed, rep: rep})
 	}
 
-	verdict := rep.CheckRecovery(bound)
-	if verdict != nil {
-		fmt.Fprintf(out, "verdict     : FAIL — %v\n", verdict)
-	} else {
-		fmt.Fprintf(out, "verdict     : PASS — every burst re-stabilised within the declared bound\n")
-	}
 	if *ndjsonPath != "" {
-		if err := writeNDJSON(*ndjsonPath, fl, a, rep); err != nil {
+		if err := writeNDJSON(*ndjsonPath, fl, a, runs); err != nil {
 			return err
 		}
 		fmt.Fprintf(out, "ndjson      : wrote %s\n", *ndjsonPath)
 	}
+	if fl.memprofile != "" {
+		f, err := os.Create(fl.memprofile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			return err
+		}
+	}
 	return verdict
+}
+
+// soakRun is one completed soak of a -seeds sweep.
+type soakRun struct {
+	seed int64
+	rep  *live.Report
 }
 
 func printReport(rep *live.Report) {
@@ -235,44 +305,56 @@ func printReport(rep *live.Report) {
 	}
 }
 
-// writeNDJSON exports the soak as harness trial records: one trial per
+// writeNDJSON exports the sweep as harness trial records: one trial per
 // fault burst, with stabilisation_time carrying the recovery latency in
 // rounds (so resultdb's stabilisation-time statistics become recovery-
-// latency statistics), or a single trial for a fault-free soak. The
+// latency statistics), or a single trial per fault-free soak. The
 // scenario name carries the alg/n/f/c axes plus a "live" tag, matching
-// the axis grammar resultdb parses.
-func writeNDJSON(path string, fl *liveFlags, a alg.Algorithm, rep *live.Report) error {
+// the axis grammar resultdb parses; a multi-seed sweep appends a
+// seed=<s> axis so each soak is its own scenario under one campaign
+// (resultdb requires one campaign+campaign-seed per stream — the base
+// seed — while the per-scenario seed is the soak's own).
+func writeNDJSON(path string, fl *liveFlags, a alg.Algorithm, runs []soakRun) error {
 	n := uint64(a.N())
-	base := harness.TrialRecord{
-		Campaign:     "liverun",
-		CampaignSeed: fl.seed,
-		Scenario:     fmt.Sprintf("%s/n=%d/f=%d/c=%d/live", fl.algName, a.N(), a.F(), a.C()),
-		ScenarioSeed: fl.seed,
-	}
+	scenario := fmt.Sprintf("%s/n=%d/f=%d/c=%d/live", fl.algName, a.N(), a.F(), a.C())
 	return harness.AtomicWriteFile(path, func(w io.Writer) error {
 		sink := harness.NDJSONSink(w)
-		emit := func(trial int, stab bool, stabTime uint64) error {
-			rec := base
-			rec.Trial = harness.Trial{
-				Trial: trial,
-				Seed:  fl.seed,
-				Observation: harness.Observation{
-					Stabilised:        stab,
-					StabilisationTime: stabTime,
-					RoundsRun:         rep.Rounds,
-					Violations:        rep.Violations,
-					MessagesPerRound:  n * (n - 1),
-					BitsPerRound:      n * (n - 1) * live.FrameBits,
-				},
+		for _, run := range runs {
+			rec := harness.TrialRecord{
+				Campaign:     "liverun",
+				CampaignSeed: fl.seed,
+				Scenario:     scenario,
+				ScenarioSeed: run.seed,
 			}
-			return sink.Emit(rec)
-		}
-		if len(rep.Recoveries) == 0 {
-			return emit(0, rep.Stabilised, rep.FirstStabilised)
-		}
-		for i, rec := range rep.Recoveries {
-			if err := emit(i, rec.Confirmed, rec.Latency); err != nil {
-				return err
+			if len(runs) > 1 {
+				rec.Scenario = fmt.Sprintf("%s/seed=%d", scenario, run.seed)
+			}
+			rep := run.rep
+			emit := func(trial int, stab bool, stabTime uint64) error {
+				rec.Trial = harness.Trial{
+					Trial: trial,
+					Seed:  run.seed,
+					Observation: harness.Observation{
+						Stabilised:        stab,
+						StabilisationTime: stabTime,
+						RoundsRun:         rep.Rounds,
+						Violations:        rep.Violations,
+						MessagesPerRound:  n * (n - 1),
+						BitsPerRound:      n * (n - 1) * live.FrameBits,
+					},
+				}
+				return sink.Emit(rec)
+			}
+			if len(rep.Recoveries) == 0 {
+				if err := emit(0, rep.Stabilised, rep.FirstStabilised); err != nil {
+					return err
+				}
+				continue
+			}
+			for i, burst := range rep.Recoveries {
+				if err := emit(i, burst.Confirmed, burst.Latency); err != nil {
+					return err
+				}
 			}
 		}
 		return nil

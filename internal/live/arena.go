@@ -1,0 +1,105 @@
+package live
+
+import "sync/atomic"
+
+// epochArena owns every slice the optimized engine hands to node
+// goroutines for one round: the shared decoded broadcast batch, the
+// per-receiver skip and patch lists carved for chaos-touched receivers,
+// and the frame-size byte buffers backing corrupted and delayed frames.
+// One arena is live per in-flight round; a ring of them (arenaRing)
+// recycles the storage once every round that could still reference it —
+// bounded by the schedule's maximum delay window — has completed, so a
+// fault-free round allocates nothing once the ring is warm.
+//
+// Ownership rule: every slice inside a roundMsg points into the
+// message's epoch. A node goroutine releases the epoch exactly once per
+// received message (after merging it, or when discarding it as stale),
+// and the ring refuses to reset an epoch that still has outstanding
+// references — a straggler sleeping on an old round keeps its bytes
+// alive while the ring swaps in a fresh arena for the new round.
+type epochArena struct {
+	refs atomic.Int64
+
+	entries []wireEntry // shared broadcast batch, built once per round
+	drops   []int32     // per-receiver skip lists, carved sequentially
+	priv    []privItem  // per-receiver patch lists, carved sequentially
+	bufs    [][]byte    // frameSize buffers for corrupt/held frame bytes
+	used    int
+}
+
+// reset recycles the arena for a new round. Growth may have relocated
+// the backing arrays mid-round (older carved slices keep the retired
+// array alive on their own); reset keeps whatever backing survived,
+// so steady state settles at the high-water capacity and stays there.
+func (a *epochArena) reset() {
+	a.entries = a.entries[:0]
+	a.drops = a.drops[:0]
+	a.priv = a.priv[:0]
+	a.used = 0
+}
+
+// grab returns a frameSize byte buffer owned by this epoch.
+func (a *epochArena) grab() []byte {
+	if a.used == len(a.bufs) {
+		a.bufs = append(a.bufs, make([]byte, frameSize))
+	}
+	b := a.bufs[a.used]
+	a.used++
+	return b
+}
+
+// corrupt is corruptFrame rewritten onto arena storage: the copy the
+// reference router allocates per corruption comes from the epoch's
+// buffer pool instead. Decision logic is byte-identical to corruptFrame
+// for full-size frames (the only kind honest senders produce).
+func (a *epochArena) corrupt(fr []byte, word, space uint64) []byte {
+	out := a.grab()
+	copy(out, fr)
+	if word&1 == 0 {
+		// Forge: rewrite the state word with an arbitrary in-space value
+		// and reseal, so the frame authenticates as a Byzantine value.
+		resealFrame(out, word%space)
+		return out
+	}
+	flip := byte(word >> 32)
+	if flip == 0 {
+		flip = 0x01
+	}
+	out[int(word>>8)%len(out)] ^= flip
+	return out
+}
+
+// acquire/release track one outstanding node reference to the epoch.
+func (a *epochArena) acquire() { a.refs.Add(1) }
+func (a *epochArena) release() { a.refs.Add(-1) }
+
+// arenaRing cycles depth epochs so that an arena is only reset once
+// every round that may still hold references into it — the current
+// round plus the maximum chaos delay window — has retired.
+type arenaRing struct {
+	epochs []*epochArena
+}
+
+func newArenaRing(depth int) *arenaRing {
+	r := &arenaRing{epochs: make([]*epochArena, depth)}
+	for i := range r.epochs {
+		r.epochs[i] = &epochArena{}
+	}
+	return r
+}
+
+// epochFor returns the recycled arena for the round. If a straggler
+// still references the slot's previous tenant (its refcount is not yet
+// zero), the old arena is retired to the garbage collector — the
+// straggler's slices keep it alive — and a fresh one takes the slot,
+// so recycling never races a slow reader.
+func (r *arenaRing) epochFor(round uint64) *epochArena {
+	i := int(round % uint64(len(r.epochs)))
+	a := r.epochs[i]
+	if a.refs.Load() != 0 {
+		a = &epochArena{}
+		r.epochs[i] = a
+	}
+	a.reset()
+	return a
+}

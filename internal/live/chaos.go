@@ -343,6 +343,20 @@ func (s *Schedule) Timeline() string {
 	return b.String()
 }
 
+// maxDelayBy returns the deepest delay any window in the schedule can
+// impose on a frame. The optimized engine sizes its arena ring by it: an
+// epoch's bytes may be referenced until every round a held frame could
+// still land in has completed.
+func (s *Schedule) maxDelayBy() uint64 {
+	var d uint64
+	for _, w := range s.Windows {
+		if w.Delay > 0 && w.DelayBy > d {
+			d = w.DelayBy
+		}
+	}
+	return d
+}
+
 // eventsAt returns the events firing at the given round. Events are
 // sorted by round, so a binary search bounds the scan.
 func (s *Schedule) eventsAt(round uint64) []Event {

@@ -1,0 +1,153 @@
+package live
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// obs is one OnRound observation; the differential suite compares the
+// full per-round streams of the two engines, not just the final report,
+// so a divergence is caught at the round it first appears.
+type obs struct {
+	round  uint64
+	agree  bool
+	common int
+	onTime int
+}
+
+// runEngine soaks one seeded chaos configuration on the selected engine
+// and returns the report (wall-clock fields zeroed) plus the per-round
+// observation trace and the canonical chaos timeline.
+func runEngine(t *testing.T, reference bool, seed int64, kinds []string) (*Report, []obs, string) {
+	t.Helper()
+	a := buildAlg(t, "ecount", 8, 1, 8)
+	cfg, window := soakConfig(seed, kinds)
+	sched, err := NewSchedule(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var trace []obs
+	rt, err := New(Config{
+		Alg:       a,
+		Seed:      seed,
+		Window:    window,
+		Schedule:  sched,
+		Reference: reference,
+		OnRound: func(round uint64, agree bool, common, onTime int) {
+			trace = append(trace, obs{round, agree, common, onTime})
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := rt.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep.Elapsed, rep.RoundsPerSec = 0, 0
+	return rep, trace, sched.Timeline()
+}
+
+// The tentpole contract: per seed, the optimized engine replays the
+// reference engine byte-for-byte — same chaos timeline, same report
+// (every counter, every recovery record), same per-round observation
+// stream — under every deterministic chaos kind alone and combined.
+func TestEngineDifferential(t *testing.T) {
+	kindSets := [][]string{
+		nil, // burst windows with nothing in them: a fault-free soak
+		{"crash"},
+		{"loss"},
+		{"corrupt"},
+		{"dup"},
+		{"delay"},
+		{"partition"},
+		{"crash", "loss", "corrupt", "dup", "delay", "partition"},
+	}
+	seeds := []int64{7, 99}
+	for _, kinds := range kindSets {
+		for _, seed := range seeds {
+			name := fmt.Sprintf("%v/seed=%d", kinds, seed)
+			t.Run(name, func(t *testing.T) {
+				refRep, refTrace, refTL := runEngine(t, true, seed, kinds)
+				optRep, optTrace, optTL := runEngine(t, false, seed, kinds)
+				if refTL != optTL {
+					t.Fatalf("chaos timelines diverge:\n%s\nvs\n%s", refTL, optTL)
+				}
+				if !reflect.DeepEqual(refRep, optRep) {
+					t.Fatalf("reports diverge:\nreference: %+v\noptimized: %+v", refRep, optRep)
+				}
+				if !reflect.DeepEqual(refTrace, optTrace) {
+					for i := range refTrace {
+						if i < len(optTrace) && refTrace[i] != optTrace[i] {
+							t.Fatalf("observation streams diverge at round %d: reference %+v, optimized %+v", refTrace[i].round, refTrace[i], optTrace[i])
+						}
+					}
+					t.Fatalf("observation streams diverge in length: %d vs %d", len(refTrace), len(optTrace))
+				}
+			})
+		}
+	}
+}
+
+// The combined-kind soak must actually inject every deterministic chaos
+// family, or the differential above proves less than it claims.
+func TestEngineDifferentialCoversAllKinds(t *testing.T) {
+	rep, _, _ := runEngine(t, false, 99, []string{"crash", "loss", "corrupt", "dup", "delay", "partition"})
+	if rep.Crashes == 0 || rep.Restarts == 0 || rep.Dropped == 0 ||
+		rep.Corrupted == 0 || rep.Duplicated == 0 || rep.Delayed == 0 || rep.Suppressed == 0 {
+		t.Fatalf("combined soak left a chaos family uninjected: %+v", rep)
+	}
+	if rep.DecodeErrors == 0 {
+		t.Fatalf("corrupt chaos produced no decode errors — bit-flipped frames must keep hitting the receivers' own validation: %+v", rep)
+	}
+}
+
+// Stall chaos is wall-clock and excluded from the byte-diff contract
+// (the reference engine runs two timed barriers per round, the batched
+// engine one, so straggler accounting differs structurally). Both
+// engines must still inject the scheduled stalls, degrade gracefully
+// and recover.
+func TestEngineStallBehavioural(t *testing.T) {
+	for _, reference := range []bool{true, false} {
+		name := "optimized"
+		if reference {
+			name = "reference"
+		}
+		t.Run(name, func(t *testing.T) {
+			a := buildAlg(t, "ecount", 8, 1, 8)
+			cfg, window := soakConfig(11, []string{"stall"})
+			cfg.StallDur = 80 * time.Millisecond
+			sched, err := NewSchedule(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rt, err := New(Config{
+				Alg:          a,
+				Seed:         11,
+				Window:       window,
+				Schedule:     sched,
+				RoundTimeout: 20 * time.Millisecond,
+				Reference:    reference,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep, err := rt.Run(context.Background())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.Stalls != 2 {
+				t.Fatalf("injected %d stalls, want one per burst (2)", rep.Stalls)
+			}
+			if rep.TimedOutRounds == 0 {
+				t.Fatal("stalled nodes never missed a barrier — the stall must exceed the round deadline")
+			}
+			if err := rep.CheckRecovery(declaredBound(t, a)); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

@@ -76,17 +76,26 @@ type Config struct {
 	// agreement verdict over on-time live nodes and how many made the
 	// barrier. Used by tests; keep it fast.
 	OnRound func(round uint64, agree bool, common int, onTime int)
+
+	// Reference selects the retained four-hop reference engine instead
+	// of the batched zero-allocation engine (the default). Both produce
+	// byte-identical reports, timelines and NDJSON per seed — pinned by
+	// the differential suite — but the reference path decodes every
+	// frame per receiver and allocates per round; it exists as the
+	// semantic anchor, per the repo's runReference convention.
+	Reference bool
 }
 
 // Runtime is a live network: n node goroutines, a router applying the
 // chaos schedule, and the synchroniser driving per-round barriers.
 type Runtime struct {
-	cfg     Config
-	n       int
-	space   uint64
-	timeout time.Duration
-	window  uint64
-	horizon uint64
+	cfg      Config
+	n        int
+	space    uint64
+	timeout  time.Duration
+	window   uint64
+	horizon  uint64
+	maxDelay uint64 // largest schedule DelayBy: bounds arena epoch lifetime
 
 	cells []ReadCell
 
@@ -136,16 +145,21 @@ func New(cfg Config) (*Runtime, error) {
 	if window == 0 {
 		window = DefaultWindowFor(cfg.Alg.C())
 	}
+	var maxDelay uint64
+	if cfg.Schedule != nil {
+		maxDelay = cfg.Schedule.maxDelayBy()
+	}
 	return &Runtime{
-		cfg:     cfg,
-		n:       n,
-		space:   cfg.Alg.StateSpace(),
-		timeout: timeout,
-		window:  window,
-		horizon: horizon,
-		cells:   make([]ReadCell, n),
-		sendCh:  make(chan sendMsg, 4*n),
-		doneCh:  make(chan doneMsg, 4*n),
+		cfg:      cfg,
+		n:        n,
+		space:    cfg.Alg.StateSpace(),
+		timeout:  timeout,
+		window:   window,
+		horizon:  horizon,
+		maxDelay: maxDelay,
+		cells:    make([]ReadCell, n),
+		sendCh:   make(chan sendMsg, 4*n),
+		doneCh:   make(chan doneMsg, 4*n),
 	}, nil
 }
 
@@ -172,10 +186,25 @@ type heldFrame struct {
 // measured report. On a synchroniser abort (every live node missing a
 // barrier, or no live nodes left) the partial report is returned
 // alongside the error. Run may be called once per Runtime.
+//
+// By default Run uses the batched zero-allocation engine; Config.
+// Reference selects the retained reference path. Per seed the two
+// produce byte-identical reports (stall chaos excepted — wall-clock
+// stragglers are nondeterministic under either engine).
 func (rt *Runtime) Run(ctx context.Context) (*Report, error) {
 	if !rt.running.CompareAndSwap(false, true) {
 		return nil, errors.New("live: Run already called on this runtime")
 	}
+	if rt.cfg.Reference {
+		return rt.runReference(ctx)
+	}
+	return rt.runOptimized(ctx)
+}
+
+// runReference is the original four-hop (start→send→batch→done) engine,
+// retained verbatim as the semantic anchor the differential suite pins
+// runOptimized against.
+func (rt *Runtime) runReference(ctx context.Context) (*Report, error) {
 	sched := rt.cfg.Schedule
 	rep := &Report{}
 	track := newTracker(rt.cfg.Alg.C(), rt.window)
@@ -205,18 +234,7 @@ func (rt *Runtime) Run(ctx context.Context) (*Report, error) {
 	)
 
 	start := time.Now()
-	finish := func() *Report {
-		track.finish()
-		rep.Recoveries = track.recoveries
-		rep.Stabilised = track.firstConfirmed
-		rep.FirstStabilised = track.firstStable
-		rep.Violations = track.violations
-		rep.Elapsed = time.Since(start)
-		if s := rep.Elapsed.Seconds(); s > 0 {
-			rep.RoundsPerSec = float64(rep.Rounds) / s
-		}
-		return rep
-	}
+	finish := func() *Report { return finishReport(rep, track, start) }
 
 	for round := uint64(0); round < rt.horizon; round++ {
 		if err := ctx.Err(); err != nil {
